@@ -1,0 +1,61 @@
+"""E5 — FANNS QPS-vs-recall Pareto (Figure 3, Use Case II).
+
+The accelerator and the CPU baseline run the identical IVF-PQ search
+over an nprobe sweep; we record recall@10, QPS and latency on both
+sides.  Shape claims: recall rises monotonically with nprobe; the FPGA
+holds an order-of-magnitude latency advantage across the sweep; both
+QPS curves fall as nprobe buys recall.
+"""
+
+import pytest
+
+from conftest import FANNS_LIST_SCALE
+from repro.bench import ResultTable
+from repro.fanns import (
+    CpuAnnSearcher,
+    FannsAccelerator,
+    GpuAnnSearcher,
+    recall_at_k,
+)
+
+_NPROBES = (1, 2, 4, 8, 16, 32)
+_K = 10
+
+
+def _run_sweep(index, data) -> ResultTable:
+    accel = FannsAccelerator(index, list_scale=FANNS_LIST_SCALE)
+    cpu = CpuAnnSearcher(index, list_scale=FANNS_LIST_SCALE)
+    gpu = GpuAnnSearcher(index, list_scale=FANNS_LIST_SCALE)
+    report = ResultTable(
+        "E5: QPS vs recall@10 (FPGA vs CPU vs GPU, modeled 40M vectors)",
+        ("nprobe", "recall@10", "FPGA QPS", "CPU QPS", "GPU QPS",
+         "FPGA lat us", "CPU lat us", "GPU lat us"),
+    )
+    recalls, latency_gains = [], []
+    for nprobe in _NPROBES:
+        f = accel.search(data.queries, _K, nprobe)
+        c = cpu.search(data.queries, _K, nprobe)
+        g = gpu.search(data.queries, _K, nprobe)
+        assert (f.ids == c.ids).all(), "engines must agree exactly"
+        assert (f.ids == g.ids).all()
+        recall = recall_at_k(f.ids, data.ground_truth)
+        recalls.append(recall)
+        latency_gains.append(c.query_latency_s / f.query_latency_s)
+        report.add(
+            nprobe, round(recall, 3), f.qps, c.qps, g.qps,
+            f.query_latency_s * 1e6, c.query_latency_s * 1e6,
+            g.query_latency_s * 1e6,
+        )
+        # The SLA triangle: FPGA holds the latency edge over both.
+        assert f.query_latency_s < g.query_latency_s
+    assert recalls == sorted(recalls), "recall monotone in nprobe"
+    assert recalls[-1] > 0.85, "high-recall regime reachable"
+    assert min(latency_gains) > 5, "FPGA latency advantage holds"
+    return report
+
+
+def test_e5_qps_recall(benchmark, ivfpq_index, vector_data):
+    table = benchmark.pedantic(
+        _run_sweep, args=(ivfpq_index, vector_data), rounds=1, iterations=1
+    )
+    table.show()

@@ -1,0 +1,47 @@
+"""E7 — MicroRec end-to-end inference latency (Figures 4-5, Use Case III).
+
+CPU vs MicroRec on a production-shaped CTR model across batch sizes.
+Shape claims: identical logits; the FPGA holds roughly an order of
+magnitude single-inference latency advantage (the paper's headline);
+throughput grows with batch on both sides.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import ResultTable
+from repro.microrec import CpuRecommender, MicroRecAccelerator
+from repro.workloads import lookup_trace
+
+
+def _run_latency(rec_model, rec_tables) -> ResultTable:
+    accel = MicroRecAccelerator(rec_tables, seed=5)
+    cpu = CpuRecommender(rec_tables, seed=5)
+    report = ResultTable(
+        "E7: CTR inference latency & throughput, CPU vs MicroRec",
+        ("batch", "CPU lat us", "FPGA lat us", "lat speedup",
+         "CPU QPS", "FPGA QPS"),
+    )
+    gains = []
+    for batch in (1, 16, 64, 256):
+        trace = lookup_trace(rec_model, batch_size=batch, seed=31)
+        c = cpu.infer(trace)
+        f = accel.infer(trace)
+        assert np.allclose(c.logits, f.logits, rtol=1e-4, atol=1e-4)
+        gain = c.latency_s / f.latency_s
+        gains.append(gain)
+        report.add(batch, c.latency_s * 1e6, f.latency_s * 1e6,
+                   gain, c.qps, f.qps)
+    assert min(gains) > 5, "order-of-magnitude-class latency win"
+    report.note(
+        f"model: {rec_model.n_tables} tables, "
+        f"{rec_model.total_embedding_bytes / 1e6:.0f} MB embeddings"
+    )
+    return report
+
+
+def test_e7_latency(benchmark, rec_model, rec_tables):
+    table = benchmark.pedantic(
+        _run_latency, args=(rec_model, rec_tables), rounds=1, iterations=1
+    )
+    table.show()

@@ -1,0 +1,44 @@
+"""fpgadp — Data Processing with FPGAs on Modern Architectures.
+
+A simulation-based reproduction of the SIGMOD-Companion 2023 tutorial
+by Jiang, Korolija and Alonso (DOI 10.1145/3555041.3589410): a
+cycle-approximate FPGA execution model (:mod:`repro.core`), memory and
+network substrates (:mod:`repro.memory`, :mod:`repro.network`), a
+columnar relational engine (:mod:`repro.relational`), and the
+tutorial's four use-case systems:
+
+* :mod:`repro.farview` — smart disaggregated memory with operator
+  offloading (Use Case I);
+* :mod:`repro.fanns` — FPGA-accelerated approximate nearest neighbor
+  search with a hardware generator (Use Case II);
+* :mod:`repro.microrec` — recommendation inference with Cartesian
+  products and HBM banking (Use Case III);
+* :mod:`repro.accl` — MPI-like collectives for FPGA clusters
+  (Use Case IV).
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every experiment.
+"""
+
+from . import accl, baselines, bench, core, fanns, farview, kvstore, lsm
+from . import memory, microrec, network, operators, relational, workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "accl",
+    "baselines",
+    "bench",
+    "core",
+    "fanns",
+    "farview",
+    "kvstore",
+    "lsm",
+    "memory",
+    "microrec",
+    "network",
+    "operators",
+    "relational",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,130 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+* ``info`` — package version and system inventory;
+* ``experiments`` — the experiment index (id, source, bench file);
+* ``run <id> [...]`` — regenerate experiments by id (delegates to
+  pytest over ``benchmarks/``, which must be reachable from the
+  current directory — i.e. run from the repository root).
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+from . import __version__
+
+_EXPERIMENTS: dict[str, tuple[str, str]] = {
+    "e1": ("HLS pipelining study (§2 Programming)",
+           "bench_e1_hls_pipeline.py"),
+    "e2": ("line-rate stream processing", "bench_e2_line_rate.py"),
+    "e3": ("Farview offload vs fetch (Fig 2)", "bench_e3_farview_offload.py"),
+    "e4": ("Farview multi-operator pipelines",
+           "bench_e4_farview_pipelines.py"),
+    "e5": ("FANNS QPS vs recall (Fig 3)", "bench_e5_fanns_qps_recall.py"),
+    "e6": ("FANNS hardware generator", "bench_e6_fanns_generator.py"),
+    "e7": ("MicroRec latency (Figs 4-5)", "bench_e7_microrec_latency.py"),
+    "e8": ("MicroRec Cartesian ablation", "bench_e8_microrec_cartesian.py"),
+    "e9": ("MicroRec HBM banking / SRAM placement",
+           "bench_e9_microrec_hbm.py"),
+    "e10": ("ACCL collectives vs host-staged (Fig 1)",
+            "bench_e10_accl_collectives.py"),
+    "e11": ("ACCL scaling and ring/tree crossover",
+            "bench_e11_accl_scaling.py"),
+    "e12": ("resource utilization across devices", "bench_e12_resources.py"),
+    "e13": ("sketch operators at line rate", "bench_e13_sketches.py"),
+    "e14": ("any-precision k-means (BiS-KM)",
+            "bench_e14_anyprec_kmeans.py"),
+    "e15": ("compression/encryption offload (HANA)",
+            "bench_e15_compression.py"),
+    "e16": ("scale-out: distributed FANNS + FleetRec",
+            "bench_e16_scaleout.py"),
+    "e17": ("smart-NIC KV store (KV-Direct)", "bench_e17_kvdirect.py"),
+    "e18": ("LSM compaction offload (X-Engine)",
+            "bench_e18_lsm_offload.py"),
+    "e19": ("multi-tenant smart memory (event-driven)",
+            "bench_e19_multitenant.py"),
+    "e20": ("hash joins: the CIDR'20 question", "bench_e20_hash_join.py"),
+    "e21": ("business-rule matching (Amadeus)",
+            "bench_e21_business_rules.py"),
+}
+
+_INVENTORY = [
+    ("repro.core", "HLS execution model, event engine, devices"),
+    ("repro.memory", "BRAM/URAM, HBM2 banking, DDR4, host-over-PCIe"),
+    ("repro.network", "100 GbE links, RDMA/TCP stacks, fabrics"),
+    ("repro.relational", "columnar engine: CPU + FPGA stream operators"),
+    ("repro.farview", "Use Case I: smart disaggregated memory"),
+    ("repro.fanns", "Use Case II: vector-search accelerator + generator"),
+    ("repro.microrec", "Use Case III: recommendation inference + FleetRec"),
+    ("repro.accl", "Use Case IV: collectives for FPGA clusters"),
+    ("repro.operators", "HLL / Count-Min / BiS-KM / codecs"),
+    ("repro.lsm", "LSM store + compaction offload (X-Engine)"),
+    ("repro.kvstore", "smart-NIC key-value store (KV-Direct)"),
+    ("repro.workloads", "synthetic workload generators"),
+]
+
+
+def _cmd_info() -> int:
+    print(f"fpgadp {__version__} — Data Processing with FPGAs on Modern "
+          "Architectures (SIGMOD-Companion 2023), simulation reproduction")
+    print()
+    for module, description in _INVENTORY:
+        print(f"  {module:<18} {description}")
+    return 0
+
+
+def _cmd_experiments() -> int:
+    for exp_id, (title, bench) in _EXPERIMENTS.items():
+        print(f"  {exp_id:<4} {title:<48} benchmarks/{bench}")
+    return 0
+
+
+def _cmd_run(ids: list[str]) -> int:
+    bench_dir = Path("benchmarks")
+    if not bench_dir.is_dir():
+        print("error: benchmarks/ not found — run from the repository root",
+              file=sys.stderr)
+        return 2
+    targets = []
+    for exp_id in ids:
+        key = exp_id.lower()
+        if key not in _EXPERIMENTS:
+            print(f"error: unknown experiment {exp_id!r} "
+                  f"(see 'python -m repro experiments')", file=sys.stderr)
+            return 2
+        targets.append(str(bench_dir / _EXPERIMENTS[key][1]))
+    command = [
+        sys.executable, "-m", "pytest", *targets,
+        "--benchmark-only", "-q", "-s",
+    ]
+    return subprocess.call(command)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="fpgadp reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("info", help="version and system inventory")
+    sub.add_parser("experiments", help="list the experiment index")
+    run = sub.add_parser("run", help="regenerate experiments by id")
+    run.add_argument("ids", nargs="+", help="experiment ids, e.g. e3 e7")
+    args = parser.parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "experiments":
+        return _cmd_experiments()
+    if args.command == "run":
+        return _cmd_run(args.ids)
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

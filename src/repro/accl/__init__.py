@@ -1,0 +1,37 @@
+"""Use Case IV — ACCL: MPI-like collectives for clusters of FPGAs
+(He et al., H2RC 2021; the distributed-processing infrastructure of
+Figure 1's HACC rack).
+"""
+
+from .cluster import FpgaCluster, HostStagedCluster
+from .collectives import (
+    CollectiveOutcome,
+    allgather_ring,
+    allreduce_recursive_doubling,
+    allreduce_ring,
+    allreduce_tree,
+    broadcast_flat,
+    broadcast_tree,
+    expected_steps_ring,
+    expected_steps_tree,
+    gather_flat,
+    reduce_tree,
+    scatter_flat,
+)
+
+__all__ = [
+    "CollectiveOutcome",
+    "FpgaCluster",
+    "HostStagedCluster",
+    "allgather_ring",
+    "allreduce_recursive_doubling",
+    "allreduce_ring",
+    "allreduce_tree",
+    "broadcast_flat",
+    "broadcast_tree",
+    "expected_steps_ring",
+    "expected_steps_tree",
+    "gather_flat",
+    "reduce_tree",
+    "scatter_flat",
+]

@@ -1,0 +1,179 @@
+"""FPGA cluster vs host-staged execution of collective schedules.
+
+ACCL's claim is architectural: when the collective engine lives on the
+FPGA next to its 100G NIC, a message is *wire + firmware*; when the
+same FPGAs must communicate through their hosts, every message pays two
+PCIe crossings and a kernel TCP stack, and reductions burn host CPU.
+Both executors run the identical schedules from
+:mod:`repro.accl.collectives`; the difference is purely the per-step
+costing:
+
+* :class:`FpgaCluster` — FPGA TCP protocol (EasyNet-class), reductions
+  stream through fabric adders faster than the wire feeds them;
+* :class:`HostStagedCluster` — kernel TCP plus 2x PCIe staging per
+  step, reductions priced on the host CPU model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from ..baselines.cpu import CpuModel, xeon_server
+from ..memory.technologies import host_over_pcie3
+from ..network.fabric import SwitchedFabric
+from ..network.protocol import ProtocolModel, fpga_tcp, kernel_tcp
+from .collectives import (
+    CollectiveOutcome,
+    allgather_ring,
+    allreduce_recursive_doubling,
+    allreduce_ring,
+    allreduce_tree,
+    broadcast_flat,
+    broadcast_tree,
+    gather_flat,
+    reduce_tree,
+    scatter_flat,
+)
+
+__all__ = ["FpgaCluster", "HostStagedCluster"]
+
+_PS_PER_S = 1_000_000_000_000
+# A 512-bit fabric adder at 300 MHz: 19.2 GB/s per node, above line rate.
+_FPGA_REDUCE_BANDWIDTH = 19.2e9
+
+
+class _ClusterBase:
+    """Shared schedule-execution machinery."""
+
+    def __init__(self, n_nodes: int, protocol: ProtocolModel) -> None:
+        if n_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        self.n_nodes = n_nodes
+        self.fabric = SwitchedFabric(protocol, n_nodes)
+
+    # -- per-step costing (overridden by the host-staged baseline) ----------
+
+    def _step_time_s(self, transfers: list[tuple[int, int, int]],
+                     reduction_bytes: int) -> float:
+        raise NotImplementedError
+
+    def _execute(self, outcome: CollectiveOutcome) -> CollectiveOutcome:
+        reductions = outcome.reduction_bytes_per_step or [0] * len(outcome.steps)
+        total = 0.0
+        for step, red in zip(outcome.steps, reductions):
+            total += self._step_time_s(step, red)
+        outcome.time_s = total
+        return outcome
+
+    def _check_count(self, buffers: list[np.ndarray]) -> None:
+        if len(buffers) != self.n_nodes:
+            raise ValueError(
+                f"expected {self.n_nodes} buffers, got {len(buffers)}"
+            )
+
+    # -- collectives ----------------------------------------------------------
+
+    def broadcast(self, buffers: list[np.ndarray], root: int = 0,
+                  algorithm: str = "tree") -> CollectiveOutcome:
+        """Broadcast the root buffer; ``algorithm`` is 'tree' or 'flat'."""
+        self._check_count(buffers)
+        schedule = {"tree": broadcast_tree, "flat": broadcast_flat}
+        return self._run(schedule, algorithm, buffers, root)
+
+    def reduce(self, buffers: list[np.ndarray],
+               root: int = 0) -> CollectiveOutcome:
+        """Sum-reduce every buffer into the root."""
+        self._check_count(buffers)
+        return self._execute(reduce_tree(buffers, root))
+
+    def scatter(self, buffers: list[np.ndarray],
+                root: int = 0) -> CollectiveOutcome:
+        """Scatter equal chunks of the root buffer."""
+        self._check_count(buffers)
+        return self._execute(scatter_flat(buffers, root))
+
+    def gather(self, buffers: list[np.ndarray],
+               root: int = 0) -> CollectiveOutcome:
+        """Gather all buffers to the root (rank order)."""
+        self._check_count(buffers)
+        return self._execute(gather_flat(buffers, root))
+
+    def allgather(self, buffers: list[np.ndarray]) -> CollectiveOutcome:
+        """Ring allgather."""
+        self._check_count(buffers)
+        return self._execute(allgather_ring(buffers))
+
+    def allreduce(self, buffers: list[np.ndarray],
+                  algorithm: str = "ring") -> CollectiveOutcome:
+        """Sum-allreduce; ``algorithm``: 'ring', 'tree', or
+        'recursive-doubling' (power-of-two clusters only)."""
+        self._check_count(buffers)
+        schedule: dict[str, Callable] = {
+            "ring": lambda bufs, _root: allreduce_ring(bufs),
+            "tree": lambda bufs, _root: allreduce_tree(bufs),
+            "recursive-doubling":
+                lambda bufs, _root: allreduce_recursive_doubling(bufs),
+        }
+        return self._run(schedule, algorithm, buffers, 0)
+
+    def _run(self, schedules: dict, algorithm: str,
+             buffers: list[np.ndarray], root: int) -> CollectiveOutcome:
+        if algorithm not in schedules:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; have {sorted(schedules)}"
+            )
+        return self._execute(schedules[algorithm](buffers, root))
+
+
+class FpgaCluster(_ClusterBase):
+    """FPGAs with on-card NICs running the collective engine (ACCL)."""
+
+    def __init__(self, n_nodes: int,
+                 protocol: ProtocolModel | None = None) -> None:
+        super().__init__(n_nodes, protocol or fpga_tcp())
+
+    def _step_time_s(self, transfers, reduction_bytes) -> float:
+        wire_s = self.fabric.parallel_step_ps(transfers) / _PS_PER_S
+        if not reduction_bytes:
+            return wire_s
+        per_node = reduction_bytes / max(1, self.n_nodes)
+        reduce_s = per_node / _FPGA_REDUCE_BANDWIDTH
+        # The adder streams on arriving data; only the excess over the
+        # wire time (if any) is exposed.
+        return max(wire_s, reduce_s)
+
+
+class HostStagedCluster(_ClusterBase):
+    """The same FPGAs communicating through their host CPUs.
+
+    Every step's data crosses PCIe twice (device->host at the sender,
+    host->device at the receiver) and traverses the kernel TCP stack;
+    reductions run on the host CPU.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        protocol: ProtocolModel | None = None,
+        cpu: CpuModel | None = None,
+    ) -> None:
+        super().__init__(n_nodes, protocol or kernel_tcp())
+        self.cpu = cpu or xeon_server()
+        self._pcie = host_over_pcie3()
+
+    def _step_time_s(self, transfers, reduction_bytes) -> float:
+        wire_s = self.fabric.parallel_step_ps(transfers) / _PS_PER_S
+        if not transfers:
+            return wire_s
+        busiest = max(
+            max((n for _, _, n in transfers), default=0), 0
+        )
+        staging_s = 2 * self._pcie.stream_time_ps(busiest) / _PS_PER_S
+        reduce_s = 0.0
+        if reduction_bytes:
+            per_node = reduction_bytes / max(1, self.n_nodes)
+            # Read two operands, write one result through host DRAM.
+            reduce_s = self.cpu.stream_time_s(int(3 * per_node))
+        return wire_s + staging_s + reduce_s

@@ -1,0 +1,336 @@
+"""Collective communication schedules: ring and tree algorithms.
+
+A schedule is a list of *steps*; each step is a list of concurrent
+``(src, dst, nbytes)`` transfers plus the data movement it performs on
+the per-node buffers.  The same schedules drive both the FPGA cluster
+and the host-staged baseline — only the per-step costing differs — and
+the buffers are real numpy arrays, so every collective's result is
+checked against the mathematical definition.
+
+Algorithms (the standard alpha-beta repertoire ACCL implements):
+
+* broadcast — binomial tree (``log2 P`` full-message steps) or flat
+  (root sends ``P-1`` messages, serialising on its port);
+* reduce — binomial tree with per-step elementwise combination;
+* scatter / gather — root-rooted flat schedules of ``n/P`` chunks;
+* allgather — ring (``P-1`` steps of ``n/P``);
+* allreduce — ring (reduce-scatter + allgather, ``2(P-1)`` steps of
+  ``n/P``) or tree (reduce + broadcast, ``2 log2 P`` full-message
+  steps).  The ring wins for large payloads, the tree for small — the
+  crossover bench E10/E11 regenerates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "CollectiveOutcome",
+    "allgather_ring",
+    "allreduce_recursive_doubling",
+    "allreduce_ring",
+    "allreduce_tree",
+    "broadcast_flat",
+    "broadcast_tree",
+    "expected_steps_ring",
+    "expected_steps_tree",
+    "gather_flat",
+    "reduce_tree",
+    "scatter_flat",
+]
+
+
+@dataclass
+class CollectiveOutcome:
+    """Result buffers plus schedule accounting.
+
+    ``time_s`` is filled in by the cluster that executes the schedule;
+    the schedule itself reports steps and wire traffic.
+    """
+
+    buffers: list[np.ndarray]
+    steps: list[list[tuple[int, int, int]]]
+    reduction_bytes_per_step: list[int] = field(default_factory=list)
+    time_s: float = 0.0
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def bytes_on_wire(self) -> int:
+        return sum(n for step in self.steps for _, _, n in step)
+
+
+def _check_root(root: int, p: int) -> None:
+    if not 0 <= root < p:
+        raise IndexError(f"root {root} out of range for {p} nodes")
+
+
+def _check_buffers(buffers: list[np.ndarray]) -> int:
+    if not buffers:
+        raise ValueError("need at least one node buffer")
+    length = buffers[0].size
+    for b in buffers:
+        if b.size != length:
+            raise ValueError("all node buffers must have equal size")
+    return length
+
+
+def broadcast_tree(buffers: list[np.ndarray], root: int = 0) -> CollectiveOutcome:
+    """Binomial-tree broadcast of the root's buffer to every node."""
+    p = len(buffers)
+    _check_buffers(buffers)
+    _check_root(root, p)
+    out = [b.copy() for b in buffers]
+    nbytes = out[root].nbytes
+    steps: list[list[tuple[int, int, int]]] = []
+    # Virtual ranks rotate the root to 0 so the recursion doubles cleanly:
+    # in round r, virtual ranks [0, 2^r) send to [2^r, 2^(r+1)).
+    distance = 1
+    while distance < p:
+        step: list[tuple[int, int, int]] = []
+        for virtual_src in range(distance):
+            virtual_dst = virtual_src + distance
+            if virtual_dst >= p:
+                continue
+            src = (virtual_src + root) % p
+            dst = (virtual_dst + root) % p
+            step.append((src, dst, nbytes))
+            out[dst] = out[src].copy()
+        steps.append(step)
+        distance *= 2
+    return CollectiveOutcome(buffers=out, steps=steps)
+
+
+def broadcast_flat(buffers: list[np.ndarray], root: int = 0) -> CollectiveOutcome:
+    """Flat broadcast: the root sends to every other node in one "step".
+
+    All ``P-1`` messages leave the same port, so the fabric serialises
+    them — the schedule that makes tree broadcast worth having.
+    """
+    p = len(buffers)
+    _check_buffers(buffers)
+    _check_root(root, p)
+    out = [b.copy() for b in buffers]
+    nbytes = out[root].nbytes
+    step = []
+    for dst in range(p):
+        if dst == root:
+            continue
+        step.append((root, dst, nbytes))
+        out[dst] = out[root].copy()
+    return CollectiveOutcome(buffers=out, steps=[step] if step else [])
+
+
+def reduce_tree(buffers: list[np.ndarray], root: int = 0) -> CollectiveOutcome:
+    """Binomial-tree sum-reduction into the root's buffer."""
+    p = len(buffers)
+    _check_buffers(buffers)
+    _check_root(root, p)
+    partial = [b.astype(np.float64) for b in buffers]
+    nbytes = buffers[root].nbytes
+    steps: list[list[tuple[int, int, int]]] = []
+    reduction_bytes: list[int] = []
+    distance = 1
+    while distance < p:
+        step = []
+        combined = 0
+        for virtual_dst in range(0, p, 2 * distance):
+            virtual_src = virtual_dst + distance
+            if virtual_src >= p:
+                continue
+            src = (virtual_src + root) % p
+            dst = (virtual_dst + root) % p
+            step.append((src, dst, nbytes))
+            partial[dst] = partial[dst] + partial[src]
+            combined += nbytes
+        steps.append(step)
+        reduction_bytes.append(combined)
+        distance *= 2
+    out = [b.copy().astype(np.float64) for b in buffers]
+    out[root] = partial[root]
+    return CollectiveOutcome(
+        buffers=out, steps=steps, reduction_bytes_per_step=reduction_bytes
+    )
+
+
+def scatter_flat(buffers: list[np.ndarray], root: int = 0) -> CollectiveOutcome:
+    """Root scatters equal chunks of its buffer to all nodes.
+
+    Node ``i`` ends with chunk ``i``; buffer sizes must divide evenly.
+    """
+    p = len(buffers)
+    length = _check_buffers(buffers)
+    _check_root(root, p)
+    if length % p:
+        raise ValueError(f"buffer size {length} not divisible by {p} nodes")
+    chunk = length // p
+    source = buffers[root]
+    out: list[np.ndarray] = []
+    step = []
+    chunk_bytes = source[:chunk].nbytes
+    for node in range(p):
+        piece = source[node * chunk:(node + 1) * chunk].copy()
+        out.append(piece)
+        if node != root:
+            step.append((root, node, chunk_bytes))
+    return CollectiveOutcome(buffers=out, steps=[step] if step else [])
+
+
+def gather_flat(buffers: list[np.ndarray], root: int = 0) -> CollectiveOutcome:
+    """Root gathers every node's buffer, concatenated in rank order."""
+    p = len(buffers)
+    _check_buffers(buffers)
+    _check_root(root, p)
+    step = [
+        (node, root, buffers[node].nbytes)
+        for node in range(p)
+        if node != root
+    ]
+    gathered = np.concatenate([buffers[node] for node in range(p)])
+    out = [b.copy() for b in buffers]
+    out[root] = gathered
+    return CollectiveOutcome(buffers=out, steps=[step] if step else [])
+
+
+def allgather_ring(buffers: list[np.ndarray]) -> CollectiveOutcome:
+    """Ring allgather: every node ends with all buffers concatenated."""
+    p = len(buffers)
+    _check_buffers(buffers)
+    pieces = [[None] * p for _ in range(p)]
+    for node in range(p):
+        pieces[node][node] = buffers[node].copy()
+    chunk_bytes = buffers[0].nbytes
+    steps = []
+    for round_ in range(p - 1):
+        step = []
+        for node in range(p):
+            send_idx = (node - round_) % p
+            dst = (node + 1) % p
+            step.append((node, dst, chunk_bytes))
+            pieces[dst][send_idx] = pieces[node][send_idx].copy()
+        steps.append(step)
+    out = [np.concatenate(row) for row in pieces]
+    return CollectiveOutcome(buffers=out, steps=steps)
+
+
+def allreduce_ring(buffers: list[np.ndarray]) -> CollectiveOutcome:
+    """Ring allreduce: reduce-scatter then allgather, 2(P-1) steps.
+
+    Each step moves ``n/P`` bytes per node; the bandwidth-optimal
+    schedule for large payloads.
+    """
+    p = len(buffers)
+    length = _check_buffers(buffers)
+    if p == 1:
+        return CollectiveOutcome(
+            buffers=[buffers[0].astype(np.float64)], steps=[]
+        )
+    if length % p:
+        raise ValueError(f"buffer size {length} not divisible by {p} nodes")
+    chunk = length // p
+    work = [b.astype(np.float64).copy() for b in buffers]
+    chunk_bytes = work[0][:chunk].nbytes
+    steps = []
+    reduction_bytes = []
+
+    def segment(node: int, idx: int) -> slice:
+        return slice(idx * chunk, (idx + 1) * chunk)
+
+    # Phase 1: reduce-scatter.
+    for round_ in range(p - 1):
+        step = []
+        sends = []
+        for node in range(p):
+            idx = (node - round_) % p
+            dst = (node + 1) % p
+            sends.append((node, dst, idx, work[node][segment(node, idx)].copy()))
+            step.append((node, dst, chunk_bytes))
+        for node, dst, idx, payload in sends:
+            work[dst][segment(dst, idx)] += payload
+        steps.append(step)
+        reduction_bytes.append(p * chunk_bytes)
+    # Phase 2: allgather the reduced segments.
+    for round_ in range(p - 1):
+        step = []
+        sends = []
+        for node in range(p):
+            idx = (node + 1 - round_) % p
+            dst = (node + 1) % p
+            sends.append((node, dst, idx, work[node][segment(node, idx)].copy()))
+            step.append((node, dst, chunk_bytes))
+        for node, dst, idx, payload in sends:
+            work[dst][segment(dst, idx)] = payload
+        steps.append(step)
+        reduction_bytes.append(0)
+    return CollectiveOutcome(
+        buffers=work, steps=steps, reduction_bytes_per_step=reduction_bytes
+    )
+
+
+def allreduce_recursive_doubling(
+    buffers: list[np.ndarray],
+) -> CollectiveOutcome:
+    """Recursive-doubling allreduce: ``log2 P`` full-exchange steps.
+
+    In step ``k`` every node exchanges its full partial sum with the
+    partner at XOR distance ``2^k`` and adds — the latency-optimal
+    schedule (half the tree's step count).  Requires a power-of-two
+    node count.
+    """
+    p = len(buffers)
+    _check_buffers(buffers)
+    if p & (p - 1):
+        raise ValueError(
+            f"recursive doubling needs a power-of-two node count, got {p}"
+        )
+    work = [b.astype(np.float64).copy() for b in buffers]
+    nbytes = buffers[0].nbytes
+    steps: list[list[tuple[int, int, int]]] = []
+    reduction_bytes: list[int] = []
+    distance = 1
+    while distance < p:
+        step: list[tuple[int, int, int]] = []
+        snapshots = [w.copy() for w in work]
+        for node in range(p):
+            partner = node ^ distance
+            step.append((node, partner, nbytes))
+        for node in range(p):
+            work[node] = work[node] + snapshots[node ^ distance]
+        steps.append(step)
+        reduction_bytes.append(p * nbytes)
+        distance *= 2
+    return CollectiveOutcome(
+        buffers=work, steps=steps, reduction_bytes_per_step=reduction_bytes
+    )
+
+
+def allreduce_tree(buffers: list[np.ndarray]) -> CollectiveOutcome:
+    """Tree allreduce: binomial reduce to node 0, then tree broadcast.
+
+    ``2 log2 P`` steps of the *full* message; latency-optimal for small
+    payloads.
+    """
+    reduced = reduce_tree(buffers, root=0)
+    spread = broadcast_tree(reduced.buffers, root=0)
+    return CollectiveOutcome(
+        buffers=spread.buffers,
+        steps=reduced.steps + spread.steps,
+        reduction_bytes_per_step=(
+            reduced.reduction_bytes_per_step + [0] * len(spread.steps)
+        ),
+    )
+
+
+def expected_steps_ring(p: int) -> int:
+    """Step count of ring allreduce (for tests/benches)."""
+    return 0 if p <= 1 else 2 * (p - 1)
+
+
+def expected_steps_tree(p: int) -> int:
+    """Step count of tree allreduce (for tests/benches)."""
+    return 0 if p <= 1 else 2 * math.ceil(math.log2(p))

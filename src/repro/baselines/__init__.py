@@ -1,0 +1,5 @@
+"""CPU baseline cost models (the other side of every FPGA comparison)."""
+
+from .cpu import CpuModel, laptop, xeon_server
+
+__all__ = ["CpuModel", "laptop", "xeon_server"]

@@ -1,0 +1,5 @@
+"""Benchmark harness utilities shared by the scripts in ``benchmarks/``."""
+
+from .reporting import ResultTable, format_quantity, speedup
+
+__all__ = ["ResultTable", "format_quantity", "speedup"]

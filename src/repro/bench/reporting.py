@@ -1,0 +1,101 @@
+"""Result tables and series for the benchmark harness.
+
+Every bench in ``benchmarks/`` builds a :class:`ResultTable` and prints
+it, so regenerated experiments come out as the rows/series the paper's
+claims are stated in.  Formatting is plain monospace text (no deps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ResultTable", "format_quantity", "speedup"]
+
+
+def format_quantity(value: Any, digits: int = 3) -> str:
+    """Human formatting with engineering suffixes for floats."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        for cut, suffix, scale in (
+            (1e12, "T", 1e12), (1e9, "G", 1e9), (1e6, "M", 1e6),
+            (1e3, "K", 1e3),
+        ):
+            if magnitude >= cut:
+                return f"{value / scale:.{digits}g}{suffix}"
+        if magnitude >= 1e-2:
+            return f"{value:.{digits}g}"
+        for cut, suffix, scale in (
+            (1e-3, "m", 1e-3), (1e-6, "u", 1e-6), (1e-9, "n", 1e-9),
+            (1e-12, "p", 1e-12),
+        ):
+            if magnitude >= cut:
+                return f"{value / scale:.{digits}g}{suffix}"
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def speedup(baseline: float, accelerated: float) -> float:
+    """Baseline time over accelerated time (>1 means the accelerator wins)."""
+    if accelerated <= 0:
+        raise ValueError("accelerated time must be positive")
+    return baseline / accelerated
+
+
+@dataclass
+class ResultTable:
+    """A titled table of experiment rows."""
+
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        """Append a row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        """Attach a footnote."""
+        self.notes.append(text)
+
+    def render(self) -> str:
+        """The table as monospace text."""
+        cells = [
+            [format_quantity(v) for v in row] for row in self.rows
+        ]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells), 1)
+            if cells else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(
+            name.ljust(w) for name, w in zip(self.columns, widths)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append(
+                "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            )
+        for note in self.notes:
+            lines.append(f"* {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the rendered table (benches call this)."""
+        print()
+        print(self.render())
+        print()

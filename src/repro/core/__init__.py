@@ -1,0 +1,81 @@
+"""Core FPGA execution model: event engine, streams, kernels, devices.
+
+This package is the reproduction's substitute for the FPGA itself: a
+cycle-approximate spatial-dataflow simulator whose vocabulary mirrors
+HLS (initiation interval, pipeline depth, unroll, dataflow regions,
+bounded FIFO streams) and whose resource model mirrors the Alveo cards
+the tutorial uses.
+"""
+
+from .clocking import (
+    FABRIC_200MHZ,
+    FABRIC_300MHZ,
+    FABRIC_400MHZ,
+    HBM_450MHZ,
+    NETWORK_322MHZ,
+    ClockDomain,
+)
+from .dataflow import DataflowGraph, RateStage, ThroughputReport
+from .device import (
+    ALVEO_U250,
+    ALVEO_U280,
+    ALVEO_U55C,
+    DEVICE_CATALOG,
+    Device,
+    ResourceVector,
+)
+from .hls import LoopNest, Pragmas, synthesize
+from .kernel import BurstKernel, ItemKernel, KernelSpec, Sink, Source
+from .sim import (
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+    all_of,
+    any_of,
+)
+from .stream import Burst, END_OF_STREAM, Stream
+from .topology import Fork, Merge, RoundRobinSplit, Zip
+
+__all__ = [
+    "ALVEO_U250",
+    "ALVEO_U280",
+    "ALVEO_U55C",
+    "Burst",
+    "BurstKernel",
+    "ClockDomain",
+    "DEVICE_CATALOG",
+    "DataflowGraph",
+    "Device",
+    "END_OF_STREAM",
+    "Event",
+    "FABRIC_200MHZ",
+    "FABRIC_300MHZ",
+    "FABRIC_400MHZ",
+    "Fork",
+    "HBM_450MHZ",
+    "Interrupt",
+    "ItemKernel",
+    "KernelSpec",
+    "LoopNest",
+    "Merge",
+    "NETWORK_322MHZ",
+    "Pragmas",
+    "Process",
+    "RateStage",
+    "ResourceVector",
+    "RoundRobinSplit",
+    "SimulationError",
+    "Simulator",
+    "Sink",
+    "Source",
+    "Stream",
+    "ThroughputReport",
+    "Timeout",
+    "Zip",
+    "all_of",
+    "any_of",
+    "synthesize",
+]

@@ -1,0 +1,407 @@
+"""Discrete-event simulation kernel.
+
+This module implements a small, dependency-free discrete-event engine in
+the style of SimPy: *processes* are Python generators that ``yield``
+:class:`Event` objects and are resumed when those events fire.  The
+engine keeps simulated time in abstract *time units*; higher layers
+interpret one unit as one nanosecond (see :mod:`repro.core.clocking`).
+
+The engine is deliberately minimal but complete enough to model FPGA
+dataflow regions, memory ports, and network links:
+
+* :class:`Simulator` — the event loop (a binary heap of scheduled
+  events).
+* :class:`Event` — a one-shot occurrence that processes can wait on.
+* :class:`Timeout` — an event that fires after a fixed delay.
+* :class:`Process` — a running generator; it is itself an event that
+  fires when the generator returns, so processes can join each other.
+* :func:`all_of` / :func:`any_of` — composite waits.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.spawn(worker(sim, "a", 5))
+>>> _ = sim.spawn(worker(sim, "b", 3))
+>>> sim.run()
+>>> log
+[(3, 'b'), (5, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Generator, Iterable
+from typing import Any
+
+__all__ = [
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "all_of",
+    "any_of",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal uses of the simulation API."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries an arbitrary payload supplied by the
+    interrupting party.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` (or
+    :meth:`fail`) schedules it to fire, waking every process that
+    yielded it.  Events can only be triggered once.
+    """
+
+    __slots__ = ("sim", "_value", "_ok", "_triggered", "_fired", "callbacks")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+        self._fired = False
+        self.callbacks: list[Any] = []
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def fired(self) -> bool:
+        """True once the event has fired and callbacks have run."""
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        """The event payload (valid after the event fired)."""
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        """False if the event carries an exception."""
+        return self._ok
+
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Schedule the event to fire with ``value`` after ``delay``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self._ok = True
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: int = 0) -> "Event":
+        """Schedule the event to fire carrying an exception."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._value = exc
+        self._ok = False
+        self.sim._schedule(self, delay)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator-based process.
+
+    A process is itself an :class:`Event` that fires when the generator
+    returns; its value is the generator's return value.  Yielding a
+    process from another process therefore *joins* it.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+    ) -> None:
+        if not isinstance(generator, Generator):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Event | None = None
+        # Kick the process off at the current simulation time.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        waited = self._waiting_on
+        if waited is not None and self._resume in waited.callbacks:
+            waited.callbacks.remove(self._resume)
+        self._waiting_on = None
+        wake = Event(self.sim)
+        wake.callbacks.append(lambda ev: self._step(Interrupt(cause), throw=True))
+        wake.succeed()
+
+    # -- internal ---------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(event.value, throw=False)
+        else:
+            self._step(event.value, throw=True)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        try:
+            if throw:
+                target = self.generator.throw(value)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle the interrupt: treat as failure.
+            self.fail(SimulationError(f"process {self.name!r} killed by interrupt"))
+            return
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {type(target).__name__}, "
+                    "expected an Event"
+                )
+            )
+            return
+        if target._fired:
+            # Already fired: resume immediately at the current time.
+            immediate = Event(self.sim)
+            immediate.callbacks.append(
+                lambda ev, tgt=target: self._resume_from_fired(tgt)
+            )
+            immediate.succeed()
+            self._waiting_on = None
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+    def _resume_from_fired(self, target: Event) -> None:
+        if target.ok:
+            self._step(target.value, throw=False)
+        else:
+            self._step(target.value, throw=True)
+
+
+class _Condition(Event):
+    """Base for :func:`all_of` / :func:`any_of` composite events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        for ev in self.events:
+            if not isinstance(ev, Event):
+                raise SimulationError("condition members must be Events")
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            if ev._fired:
+                self._on_member(ev)
+            else:
+                ev.callbacks.append(self._on_member)
+
+    def _on_member(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class _AllOf(_Condition):
+    __slots__ = ()
+
+    def _on_member(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value if isinstance(event.value, BaseException)
+                      else SimulationError("condition member failed"))
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([ev.value for ev in self.events])
+
+
+class _AnyOf(_Condition):
+    __slots__ = ()
+
+    def _on_member(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value if isinstance(event.value, BaseException)
+                      else SimulationError("condition member failed"))
+            return
+        self.succeed(event)
+
+
+def all_of(sim: "Simulator", events: Iterable[Event]) -> Event:
+    """An event that fires once every event in ``events`` has fired.
+
+    Its value is the list of member values, in member order.
+    """
+    return _AllOf(sim, events)
+
+
+def any_of(sim: "Simulator", events: Iterable[Event]) -> Event:
+    """An event that fires as soon as any member fires (value: that event)."""
+    return _AnyOf(sim, events)
+
+
+class Simulator:
+    """The discrete-event loop.
+
+    Time is a non-negative integer in abstract units (interpreted as
+    nanoseconds by the hardware layers).  Events scheduled at the same
+    time fire in scheduling order (FIFO), which keeps runs deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._heap: list[tuple[int, int, Event]] = []
+        self._counter = itertools.count()
+        self._processes: list[Process] = []
+
+    @property
+    def now(self) -> int:
+        """Current simulated time."""
+        return self._now
+
+    # -- event factories --------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, int(delay), value)
+
+    def spawn(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+    ) -> Process:
+        """Start a new process running ``generator``."""
+        proc = Process(self, generator, name=name)
+        self._processes.append(proc)
+        return proc
+
+    # Alias familiar to SimPy users.
+    process = spawn
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: int = 0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + int(delay), next(self._counter), event))
+
+    def peek(self) -> int | None:
+        """Time of the next scheduled event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> None:
+        """Fire the single next event."""
+        if not self._heap:
+            raise SimulationError("no scheduled events")
+        when, _, event = heapq.heappop(self._heap)
+        self._now = when
+        event._fired = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not callbacks and not isinstance(event, Process):
+            # A failure nobody waited for must not pass silently.
+            raise event.value
+
+    def run(self, until: int | None = None) -> None:
+        """Run until the event heap drains or ``until`` is reached.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` even if the last event fires earlier.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until} is in the past (now={self._now})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def run_until_process(self, proc: Process, limit: int | None = None) -> Any:
+        """Run until ``proc`` finishes; return its value.
+
+        ``limit`` bounds simulated time to guard against deadlocks; a
+        :class:`SimulationError` is raised if the process is still alive
+        when the heap drains or the limit is hit.
+        """
+        while self._heap and not proc._fired:
+            if limit is not None and self._heap[0][0] > limit:
+                raise SimulationError(
+                    f"process {proc.name!r} did not finish before t={limit}"
+                )
+            self.step()
+        if not proc._fired:
+            raise SimulationError(
+                f"deadlock: process {proc.name!r} still waiting at t={self._now}"
+            )
+        if not proc.ok:
+            raise proc.value
+        return proc.value

@@ -1,0 +1,181 @@
+"""Bounded streams with backpressure — the HLS ``hls::stream`` analogue.
+
+Streams connect kernels in a dataflow region.  They are bounded FIFOs:
+a ``put`` into a full stream blocks the producer and a ``get`` from an
+empty stream blocks the consumer, which is exactly the backpressure
+behaviour of FIFO channels between HLS dataflow stages.
+
+Two granularities are supported:
+
+* **item streams** (:class:`Stream`) carry individual Python/numpy
+  objects; used by fine-grained tests and the per-item timing ablation.
+* **burst streams** — the same class with items that are
+  :class:`Burst` records (a payload plus a count); the performance
+  layers move bursts so that simulating a million tuples costs a
+  handful of events rather than a million.
+
+``END_OF_STREAM`` is the conventional last-token sentinel (HLS designs
+use a side-band ``last`` flag; a sentinel keeps the Python API simple).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from .sim import Event, SimulationError, Simulator
+
+__all__ = ["Burst", "END_OF_STREAM", "Stream", "StreamStats"]
+
+
+class _EndOfStream:
+    """Sentinel type for :data:`END_OF_STREAM` (singleton)."""
+
+    _instance: "_EndOfStream | None" = None
+
+    def __new__(cls) -> "_EndOfStream":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "END_OF_STREAM"
+
+
+END_OF_STREAM = _EndOfStream()
+
+
+@dataclass(slots=True)
+class Burst:
+    """A batch of ``count`` logical items moving through a stream as one unit.
+
+    ``payload`` is typically a numpy array slice; ``meta`` carries
+    side-band information (e.g. a query id or a last-burst flag).
+    """
+
+    payload: Any
+    count: int
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"burst count must be >= 0, got {self.count}")
+
+
+@dataclass(slots=True)
+class StreamStats:
+    """Counters a stream keeps for bottleneck analysis."""
+
+    puts: int = 0
+    gets: int = 0
+    items: int = 0
+    producer_stall_events: int = 0
+    consumer_stall_events: int = 0
+    high_watermark: int = 0
+
+
+class Stream:
+    """A bounded FIFO with blocking put/get, usable from processes.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    depth:
+        Maximum number of queued entries (HLS FIFO depth).  Must be at
+        least 1.
+    name:
+        Identifier for diagnostics.
+    """
+
+    def __init__(self, sim: Simulator, depth: int = 2, name: str = "stream") -> None:
+        if depth < 1:
+            raise SimulationError(f"stream depth must be >= 1, got {depth}")
+        self.sim = sim
+        self.depth = depth
+        self.name = name
+        self.stats = StreamStats()
+        self._queue: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        """True if a put would block."""
+        return len(self._queue) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        """True if a get would block."""
+        return not self._queue
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once ``item`` has been enqueued."""
+        done = Event(self.sim)
+        if self._getters:
+            # Hand the item straight to the longest-waiting consumer.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            done.succeed()
+            self._account_put(item)
+        elif len(self._queue) < self.depth:
+            self._queue.append(item)
+            done.succeed()
+            self._account_put(item)
+        else:
+            self.stats.producer_stall_events += 1
+            self._putters.append((done, item))
+        return done
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        got = Event(self.sim)
+        if self._queue:
+            item = self._queue.popleft()
+            got.succeed(item)
+            self._account_get(item)
+            self._drain_putters()
+        else:
+            self.stats.consumer_stall_events += 1
+            self._getters.append(got)
+        return got
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self._queue:
+            item = self._queue.popleft()
+            self._account_get(item)
+            self._drain_putters()
+            return True, item
+        return False, None
+
+    # -- internal ---------------------------------------------------------
+
+    def _drain_putters(self) -> None:
+        while self._putters and len(self._queue) < self.depth:
+            done, item = self._putters.popleft()
+            if self._getters:
+                getter = self._getters.popleft()
+                getter.succeed(item)
+            else:
+                self._queue.append(item)
+            done.succeed()
+            self._account_put(item)
+
+    def _account_put(self, item: Any) -> None:
+        self.stats.puts += 1
+        self.stats.items += item.count if isinstance(item, Burst) else 1
+        self.stats.high_watermark = max(self.stats.high_watermark, len(self._queue))
+
+    def _account_get(self, item: Any) -> None:
+        self.stats.gets += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Stream({self.name!r}, depth={self.depth}, "
+            f"occupancy={len(self._queue)})"
+        )

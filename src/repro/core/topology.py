@@ -1,0 +1,163 @@
+"""Stream topology helpers: fork, split, merge, zip.
+
+Real dataflow regions are rarely straight lines: a scanned column is
+broadcast to several operators, partitioned across parallel PEs, or
+joined with a sibling stream.  These processes provide the plumbing
+between kernels, with the same backpressure semantics as the kernels
+themselves (a slow consumer stalls the fork; a stalled merge input
+never blocks the others from making progress... it does, actually —
+merges here are *fair* round-robin with skip-on-empty, matching a
+non-blocking stream switch).
+
+All helpers forward :data:`~repro.core.stream.END_OF_STREAM`
+correctly: forks replicate it, splits/merges deliver it exactly once
+after their inputs drain.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from .sim import Simulator
+from .stream import END_OF_STREAM, Stream
+
+__all__ = ["Fork", "Merge", "RoundRobinSplit", "Zip"]
+
+
+class Fork:
+    """Broadcast every input item to all output streams."""
+
+    def __init__(self, sim: Simulator, inp: Stream,
+                 outs: list[Stream]) -> None:
+        if not outs:
+            raise ValueError("fork needs at least one output")
+        self.sim = sim
+        self.inp = inp
+        self.outs = outs
+        self.items = 0
+        self.process = sim.spawn(self._run(), name="fork")
+
+    def _run(self):
+        while True:
+            item = yield self.inp.get()
+            if item is END_OF_STREAM:
+                for out in self.outs:
+                    yield out.put(END_OF_STREAM)
+                return
+            self.items += 1
+            for out in self.outs:
+                yield out.put(item)
+
+
+class RoundRobinSplit:
+    """Distribute input items over outputs in round-robin order.
+
+    The partitioner in front of a PE array: item ``i`` goes to output
+    ``i mod n``.
+    """
+
+    def __init__(self, sim: Simulator, inp: Stream,
+                 outs: list[Stream]) -> None:
+        if not outs:
+            raise ValueError("split needs at least one output")
+        self.sim = sim
+        self.inp = inp
+        self.outs = outs
+        self.items = 0
+        self.process = sim.spawn(self._run(), name="rr-split")
+
+    def _run(self):
+        index = 0
+        while True:
+            item = yield self.inp.get()
+            if item is END_OF_STREAM:
+                for out in self.outs:
+                    yield out.put(END_OF_STREAM)
+                return
+            yield self.outs[index].put(item)
+            self.items += 1
+            index = (index + 1) % len(self.outs)
+
+
+class Merge:
+    """Merge several input streams into one, round-robin-fair.
+
+    Ends after *every* input has delivered its END_OF_STREAM (forwarded
+    exactly once).
+    """
+
+    def __init__(self, sim: Simulator, inps: list[Stream],
+                 out: Stream) -> None:
+        if not inps:
+            raise ValueError("merge needs at least one input")
+        self.sim = sim
+        self.inps = inps
+        self.out = out
+        self.items = 0
+        self.process = sim.spawn(self._run(), name="merge")
+
+    def _run(self):
+        open_inputs = list(self.inps)
+        index = 0
+        while open_inputs:
+            index %= len(open_inputs)
+            stream = open_inputs[index]
+            # Fairness with progress: take from the next input that has
+            # data; if all are empty, block on the current one.
+            chosen = None
+            for offset in range(len(open_inputs)):
+                candidate = open_inputs[(index + offset) % len(open_inputs)]
+                if not candidate.empty:
+                    chosen = candidate
+                    break
+            if chosen is None:
+                chosen = stream
+            item = yield chosen.get()
+            if item is END_OF_STREAM:
+                open_inputs.remove(chosen)
+                continue
+            self.items += 1
+            yield self.out.put(item)
+            index += 1
+        yield self.out.put(END_OF_STREAM)
+
+
+class Zip:
+    """Combine one item from each input with ``fn`` per output item.
+
+    Ends as soon as any input ends (remaining partners are unread, as
+    with ``hls::stream`` joins that stop at the shorter stream).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        inps: list[Stream],
+        out: Stream,
+        fn: Callable[..., Any] | None = None,
+    ) -> None:
+        if len(inps) < 2:
+            raise ValueError("zip needs at least two inputs")
+        self.sim = sim
+        self.inps = inps
+        self.out = out
+        self.fn = fn or (lambda *items: tuple(items))
+        self.items = 0
+        self.process = sim.spawn(self._run(), name="zip")
+
+    def _run(self):
+        while True:
+            gathered = []
+            ended = False
+            for stream in self.inps:
+                item = yield stream.get()
+                if item is END_OF_STREAM:
+                    ended = True
+                    break
+                gathered.append(item)
+            if ended:
+                yield self.out.put(END_OF_STREAM)
+                return
+            self.items += 1
+            yield self.out.put(self.fn(*gathered))

@@ -1,0 +1,194 @@
+"""The FANNS FPGA accelerator: a staged IVF-PQ search pipeline.
+
+Figure 3 of the tutorial: queries stream through
+
+1. a **coarse distance** PE array (dense query x centroid MACs);
+2. a **select-nprobe** unit (K-selection over nlist distances);
+3. a **LUT construction** unit (one ADC table per probed list in
+   residual mode);
+4. an array of **ADC scan PEs**, each consuming one PQ code per cycle
+   out of HBM-resident inverted lists;
+5. systolic **top-K priority queues** overlapping the scan.
+
+Stage times follow the HLS cost model; the scan stage is additionally
+bounded by HBM bandwidth (codes are striped across the channels the
+configuration dedicates to them).  Queries pipeline through the stages,
+so throughput is set by the slowest stage and latency by the sum — the
+same first-order model the FANNS paper's performance predictor uses.
+
+Functional results come from the shared
+:class:`~repro.fanns.ivf.IVFPQIndex`, so accelerator and CPU baseline
+return identical ids for identical ``(k, nprobe)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.clocking import FABRIC_300MHZ, ClockDomain
+from ..core.device import ALVEO_U55C, Device, ResourceVector
+from ..memory.technologies import hbm2_channel
+from .ivf import IVFPQIndex
+
+__all__ = ["FannsAccelerator", "FannsConfig", "FpgaSearchOutcome", "StageTimes"]
+
+
+@dataclass(frozen=True)
+class FannsConfig:
+    """A hardware configuration of the FANNS pipeline.
+
+    The generator (:mod:`repro.fanns.generator`) searches over these.
+    """
+
+    n_distance_pes: int = 16
+    n_lut_pes: int = 16
+    n_adc_pes: int = 32
+    n_hbm_channels: int = 16
+    clock: ClockDomain = FABRIC_300MHZ
+
+    def __post_init__(self) -> None:
+        if min(self.n_distance_pes, self.n_lut_pes, self.n_adc_pes,
+               self.n_hbm_channels) < 1:
+            raise ValueError("all PE/channel counts must be >= 1")
+
+    def resources(self, m: int) -> ResourceVector:
+        """Fabric demand of this configuration for ``m``-byte codes.
+
+        Per-PE costs follow FANNS' reported per-unit utilization
+        ratios: distance PEs are DSP-heavy, ADC PEs are BRAM-heavy
+        (each keeps ``m`` banked LUT copies for single-cycle lookups).
+        """
+        distance = ResourceVector(lut=1_800, ff=2_600, dsp=5) * self.n_distance_pes
+        lut_build = ResourceVector(lut=1_200, ff=1_800, dsp=4) * self.n_lut_pes
+        adc = ResourceVector(
+            lut=2_500, ff=3_500, dsp=m, bram_36k=max(1, m // 2)
+        ) * self.n_adc_pes
+        topk = ResourceVector(lut=30_000, ff=45_000, bram_36k=16)
+        control = ResourceVector(lut=50_000, ff=80_000, bram_36k=32)
+        hbm = ResourceVector(hbm_channels=self.n_hbm_channels)
+        return distance + lut_build + adc + topk + control + hbm
+
+
+@dataclass(frozen=True)
+class StageTimes:
+    """Per-query stage times in seconds."""
+
+    coarse_s: float
+    select_s: float
+    lut_s: float
+    scan_s: float
+    topk_drain_s: float
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency of one query."""
+        return (
+            self.coarse_s + self.select_s + self.lut_s
+            + self.scan_s + self.topk_drain_s
+        )
+
+    @property
+    def bottleneck_s(self) -> float:
+        """The pipeline initiation interval (slowest stage)."""
+        return max(
+            self.coarse_s, self.select_s, self.lut_s,
+            self.scan_s, self.topk_drain_s,
+        )
+
+
+@dataclass(frozen=True)
+class FpgaSearchOutcome:
+    """Results plus modeled accelerator timing for a query batch."""
+
+    ids: np.ndarray
+    stages: StageTimes
+    query_latency_s: float
+    qps: float
+    batch_time_s: float
+
+
+class FannsAccelerator:
+    """A FANNS instance: an index deployed under a hardware config."""
+
+    def __init__(
+        self,
+        index: IVFPQIndex,
+        config: FannsConfig = FannsConfig(),
+        device: Device = ALVEO_U55C,
+        enforce_fit: bool = True,
+        list_scale: int = 1,
+    ) -> None:
+        if list_scale < 1:
+            raise ValueError("list_scale must be >= 1")
+        self.index = index
+        self.config = config
+        self.device = device
+        self.list_scale = list_scale
+        demand = config.resources(index.pq.m)
+        if enforce_fit and not device.fits(demand):
+            raise ResourceWarning(
+                f"FANNS config does not fit {device.name}: "
+                f"{demand.utilization_report(demand)}"
+            )
+        code_bytes = index.code_bytes_total * list_scale
+        if code_bytes > config.n_hbm_channels * hbm2_channel().capacity_bytes:
+            raise MemoryError(
+                "PQ codes do not fit the configured HBM channels"
+            )
+        self._hbm = hbm2_channel()
+
+    # -- performance model ---------------------------------------------------
+
+    def stage_times(self, nprobe: int) -> StageTimes:
+        """Per-query stage times under the current config."""
+        index, cfg = self.index, self.config
+        if not 1 <= nprobe <= index.nlist:
+            raise ValueError(f"nprobe must be in 1..{index.nlist}")
+        clock = cfg.clock
+        dim = index.dim
+        ksub = index.pq.ksub
+        dsub = index.pq.dsub
+        # S1: nlist x dim MACs over the distance PE array.
+        coarse_cycles = math.ceil(index.nlist * dim / cfg.n_distance_pes)
+        # S2: streaming K-selection over nlist distances.
+        select_cycles = index.nlist + 2 * nprobe
+        # S3: residual mode builds one table per probed list.
+        n_tables = nprobe if index.residual else 1
+        lut_cycles = math.ceil(n_tables * ksub * dsub / cfg.n_lut_pes)
+        # S4: scan expected candidates; 1 code/PE/cycle, HBM-bounded.
+        candidates = index.expected_candidates(nprobe) * self.list_scale
+        scan_cycles = math.ceil(candidates / cfg.n_adc_pes)
+        scan_compute_s = clock.cycles_to_seconds(scan_cycles)
+        code_bytes = candidates * index.pq.code_nbytes
+        share = math.ceil(code_bytes / cfg.n_hbm_channels)
+        scan_memory_s = self._hbm.stream_time_ps(int(share)) / 1e12
+        # S5: priority queues drain K entries after the last code.
+        topk_cycles = 64
+        return StageTimes(
+            coarse_s=clock.cycles_to_seconds(coarse_cycles),
+            select_s=clock.cycles_to_seconds(select_cycles),
+            lut_s=clock.cycles_to_seconds(lut_cycles),
+            scan_s=max(scan_compute_s, scan_memory_s),
+            topk_drain_s=clock.cycles_to_seconds(topk_cycles),
+        )
+
+    def qps(self, nprobe: int) -> float:
+        """Steady-state queries/s with query-level pipelining."""
+        return 1.0 / self.stage_times(nprobe).bottleneck_s
+
+    def search(self, queries: np.ndarray, k: int, nprobe: int) -> FpgaSearchOutcome:
+        """Run a query batch; identical ids to the CPU path, FPGA timing."""
+        ids = self.index.search(queries, k, nprobe)
+        stages = self.stage_times(nprobe)
+        n = queries.shape[0]
+        batch = stages.latency_s + max(0, n - 1) * stages.bottleneck_s
+        return FpgaSearchOutcome(
+            ids=ids,
+            stages=stages,
+            query_latency_s=stages.latency_s,
+            qps=1.0 / stages.bottleneck_s,
+            batch_time_s=batch,
+        )

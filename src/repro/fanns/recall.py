@@ -1,0 +1,31 @@
+"""Recall metrics for approximate nearest neighbor search."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["recall_at_k"]
+
+
+def recall_at_k(results: np.ndarray, ground_truth: np.ndarray,
+                k: int | None = None) -> float:
+    """Fraction of true top-k neighbors found in the returned top-k.
+
+    ``results`` is ``(q, >=k)`` returned ids (possibly padded with -1);
+    ``ground_truth`` is ``(q, >=k)`` true ids in distance order.
+    R@k compares the first ``k`` of each (default: the narrower width).
+    """
+    if results.shape[0] != ground_truth.shape[0]:
+        raise ValueError(
+            f"query count mismatch: {results.shape[0]} vs "
+            f"{ground_truth.shape[0]}"
+        )
+    if k is None:
+        k = min(results.shape[1], ground_truth.shape[1])
+    if k < 1 or k > results.shape[1] or k > ground_truth.shape[1]:
+        raise ValueError(f"invalid k={k} for shapes "
+                         f"{results.shape} / {ground_truth.shape}")
+    hits = 0
+    for got, want in zip(results[:, :k], ground_truth[:, :k]):
+        hits += len(set(got[got >= 0]) & set(want))
+    return hits / (results.shape[0] * k)

@@ -1,0 +1,8 @@
+"""KV-Direct-style smart-NIC key-value store (Li et al., SOSP 2017 —
+the introduction's RDMA/SmartNIC deployment example).
+"""
+
+from .hashtable import HashTable
+from .server import KvOutcome, SmartNicKvServer, SoftwareKvServer
+
+__all__ = ["HashTable", "KvOutcome", "SmartNicKvServer", "SoftwareKvServer"]

@@ -1,0 +1,130 @@
+"""A bucketized open-addressing hash table over numpy storage.
+
+The data structure under the KV-Direct use case (intro of the paper):
+fixed-size buckets of a few slots, linear probing across buckets —
+the layout a hardware pipeline likes, because a lookup is a bounded
+number of wide, independent memory reads.
+
+Functional semantics are exact (tested against a dict model); the
+``probe`` counters feed the performance models in
+:mod:`repro.kvstore.server`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HashTable"]
+
+_EMPTY = np.iinfo(np.int64).min
+_DELETED = np.iinfo(np.int64).min + 1
+
+
+class HashTable:
+    """Bucketized linear-probing hash table (int64 keys and values)."""
+
+    def __init__(self, n_buckets: int = 1024, slots_per_bucket: int = 8) -> None:
+        if n_buckets < 1 or n_buckets & (n_buckets - 1):
+            raise ValueError("n_buckets must be a positive power of two")
+        if slots_per_bucket < 1:
+            raise ValueError("slots_per_bucket must be >= 1")
+        self.n_buckets = n_buckets
+        self.slots_per_bucket = slots_per_bucket
+        self._keys = np.full(
+            (n_buckets, slots_per_bucket), _EMPTY, dtype=np.int64
+        )
+        self._values = np.zeros((n_buckets, slots_per_bucket), dtype=np.int64)
+        self.n_entries = 0
+        self.bucket_probes = 0
+        self.operations = 0
+
+    def _bucket_of(self, key: int) -> int:
+        x = ((key & 0xFFFFFFFFFFFFFFFF) * 0x9E3779B97F4A7C15) \
+            & 0xFFFFFFFFFFFFFFFF
+        return (x >> 40) % self.n_buckets
+
+    @property
+    def capacity(self) -> int:
+        return self.n_buckets * self.slots_per_bucket
+
+    @property
+    def load_factor(self) -> float:
+        return self.n_entries / self.capacity
+
+    @property
+    def nbytes(self) -> int:
+        return self._keys.nbytes + self._values.nbytes
+
+    def _check_key(self, key: int) -> int:
+        key = int(key)
+        if key in (_EMPTY, _DELETED):
+            raise ValueError("key collides with a sentinel value")
+        return key
+
+    def put(self, key: int, value: int) -> None:
+        """Insert or overwrite; raises when the table is full."""
+        key = self._check_key(key)
+        self.operations += 1
+        first_free: tuple[int, int] | None = None
+        bucket = self._bucket_of(key)
+        for probe in range(self.n_buckets):
+            b = (bucket + probe) % self.n_buckets
+            self.bucket_probes += 1
+            row = self._keys[b]
+            match = np.flatnonzero(row == key)
+            if match.size:
+                self._values[b, match[0]] = value
+                return
+            if first_free is None:
+                free = np.flatnonzero((row == _EMPTY) | (row == _DELETED))
+                if free.size:
+                    first_free = (b, int(free[0]))
+            if (row == _EMPTY).any():
+                break  # key cannot live beyond the first truly-empty slot
+        if first_free is None:
+            raise MemoryError("hash table full")
+        b, slot = first_free
+        self._keys[b, slot] = key
+        self._values[b, slot] = value
+        self.n_entries += 1
+
+    def get(self, key: int) -> int | None:
+        """Value for ``key`` or None."""
+        key = self._check_key(key)
+        self.operations += 1
+        bucket = self._bucket_of(key)
+        for probe in range(self.n_buckets):
+            b = (bucket + probe) % self.n_buckets
+            self.bucket_probes += 1
+            row = self._keys[b]
+            match = np.flatnonzero(row == key)
+            if match.size:
+                return int(self._values[b, match[0]])
+            if (row == _EMPTY).any():
+                return None
+        return None
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns whether it existed."""
+        key = self._check_key(key)
+        self.operations += 1
+        bucket = self._bucket_of(key)
+        for probe in range(self.n_buckets):
+            b = (bucket + probe) % self.n_buckets
+            self.bucket_probes += 1
+            row = self._keys[b]
+            match = np.flatnonzero(row == key)
+            if match.size:
+                self._keys[b, match[0]] = _DELETED
+                self.n_entries -= 1
+                return True
+            if (row == _EMPTY).any():
+                return False
+        return False
+
+    @property
+    def mean_probes_per_op(self) -> float:
+        """Average bucket reads per operation (drives the cost models)."""
+        if self.operations == 0:
+            return 0.0
+        return self.bucket_probes / self.operations

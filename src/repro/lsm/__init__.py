@@ -1,0 +1,25 @@
+"""LSM-tree substrate and compaction offload (X-Engine, SIGMOD'19 /
+FPGA-accelerated compactions, FAST'20 — the introduction's motivating
+deployment).
+"""
+
+from .offload import (
+    CompactionExecutor,
+    OffloadStudyResult,
+    cpu_compaction_bandwidth,
+    fpga_compaction_bandwidth,
+    run_offload_study,
+)
+from .store import CompactionEvent, LsmStore, SortedRun, merge_runs
+
+__all__ = [
+    "CompactionEvent",
+    "CompactionExecutor",
+    "LsmStore",
+    "OffloadStudyResult",
+    "SortedRun",
+    "cpu_compaction_bandwidth",
+    "fpga_compaction_bandwidth",
+    "merge_runs",
+    "run_offload_study",
+]

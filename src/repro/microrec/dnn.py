@@ -1,0 +1,93 @@
+"""The fully-connected CTR head: functional MLP + FPGA timing.
+
+After the embedding lookups, a recommendation inference concatenates
+the vectors and runs a small MLP down to one click-through-rate logit.
+:class:`Mlp` is the functional network (ReLU hidden layers, linear
+output); :func:`fpga_mlp_latency_s` prices one inference on a DSP
+systolic array (the "low-latency DNN computation" half of Figure 5).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.clocking import FABRIC_300MHZ, ClockDomain
+
+__all__ = ["Mlp", "fpga_mlp_latency_s"]
+
+
+class Mlp:
+    """A ReLU MLP with a linear scalar output."""
+
+    def __init__(
+        self,
+        input_width: int,
+        hidden_layers: tuple[int, ...],
+        seed: int = 0,
+    ) -> None:
+        if input_width < 1:
+            raise ValueError("input width must be >= 1")
+        if any(w < 1 for w in hidden_layers):
+            raise ValueError("hidden widths must be >= 1")
+        rng = np.random.default_rng(seed)
+        widths = (input_width, *hidden_layers, 1)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(widths[:-1], widths[1:]):
+            scale = math.sqrt(2.0 / fan_in)
+            self.weights.append(
+                (rng.standard_normal((fan_in, fan_out)) * scale).astype(
+                    np.float32
+                )
+            )
+            self.biases.append(
+                (rng.standard_normal(fan_out) * 0.1).astype(np.float32)
+            )
+        self.widths = widths
+
+    @property
+    def n_macs(self) -> int:
+        """Multiply-accumulates of one inference."""
+        return sum(w.size for w in self.weights)
+
+    @property
+    def weight_nbytes(self) -> int:
+        return sum(w.nbytes for w in self.weights)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Batched forward pass; returns ``(batch,)`` logits."""
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 2 or x.shape[1] != self.widths[0]:
+            raise ValueError(
+                f"input must be (batch, {self.widths[0]}), got {x.shape}"
+            )
+        h = x
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            h = h @ w + b
+            if i != last:
+                np.maximum(h, 0.0, out=h)
+        return h[:, 0]
+
+
+def fpga_mlp_latency_s(
+    mlp: Mlp,
+    n_dsp_macs: int = 2048,
+    clock: ClockDomain = FABRIC_300MHZ,
+    pipeline_depth: int = 32,
+) -> float:
+    """One inference through a DSP systolic array.
+
+    Layer ``l`` takes ``ceil(macs_l / n_dsp_macs)`` cycles (the array
+    is time-multiplexed across layers); weights are on-chip so no
+    memory term.  ``pipeline_depth`` covers accumulation/activation
+    latency per layer.
+    """
+    if n_dsp_macs < 1:
+        raise ValueError("need at least one MAC unit")
+    cycles = sum(
+        math.ceil(w.size / n_dsp_macs) + pipeline_depth for w in mlp.weights
+    )
+    return clock.cycles_to_seconds(cycles)

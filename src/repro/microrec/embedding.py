@@ -1,0 +1,60 @@
+"""Embedding table storage and functional lookups.
+
+:class:`EmbeddingTables` materialises the tables of a
+:class:`~repro.workloads.traces.RecModelSpec` as numpy arrays and
+answers batched lookups — the functional ground truth every engine
+(CPU, MicroRec accelerator, with or without Cartesian combining) is
+checked against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..workloads.traces import RecModelSpec
+
+__all__ = ["EmbeddingTables"]
+
+
+class EmbeddingTables:
+    """The embedding tables of one recommendation model."""
+
+    def __init__(self, spec: RecModelSpec, seed: int = 0) -> None:
+        self.spec = spec
+        rng = np.random.default_rng(seed)
+        self.tables: list[np.ndarray] = [
+            rng.standard_normal((rows, spec.embedding_dim)).astype(np.float32)
+            for rows in spec.table_rows
+        ]
+
+    @property
+    def n_tables(self) -> int:
+        return self.spec.n_tables
+
+    def table_nbytes(self, table: int) -> int:
+        """Bytes of one table as stored."""
+        return self.tables[table].nbytes
+
+    @property
+    def total_nbytes(self) -> int:
+        return sum(t.nbytes for t in self.tables)
+
+    def lookup(self, trace: np.ndarray) -> np.ndarray:
+        """Gather and concatenate embeddings for a lookup trace.
+
+        ``trace`` is ``(batch, n_tables)`` row ids; the result is
+        ``(batch, n_tables * embedding_dim)`` float32.
+        """
+        trace = np.asarray(trace)
+        if trace.ndim != 2 or trace.shape[1] != self.n_tables:
+            raise ValueError(
+                f"trace must be (batch, {self.n_tables}), got {trace.shape}"
+            )
+        for t in range(self.n_tables):
+            column = trace[:, t]
+            if column.size and (
+                column.min() < 0 or column.max() >= self.spec.table_rows[t]
+            ):
+                raise IndexError(f"trace ids out of range for table {t}")
+        parts = [self.tables[t][trace[:, t]] for t in range(self.n_tables)]
+        return np.concatenate(parts, axis=1)

@@ -1,0 +1,105 @@
+"""Physical link model: bandwidth, propagation, serialization.
+
+A :class:`LinkModel` is the wire-level cost of moving bytes between two
+adjacent ports — bandwidth-limited serialization plus propagation.
+Protocol costs (per-message software/firmware overheads, which is where
+FPGA network stacks beat kernel stacks) live one layer up in
+:mod:`repro.network.protocol`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["LinkModel", "ethernet_100g", "ethernet_10g", "ethernet_25g"]
+
+_PS_PER_S = 1_000_000_000_000
+
+
+@dataclass(frozen=True, slots=True)
+class LinkModel:
+    """A point-to-point link.
+
+    Parameters
+    ----------
+    name:
+        Identifier for reports.
+    bandwidth_bits_per_sec:
+        Raw line rate.
+    propagation_ps:
+        One-way flight time (cables + PHY).
+    frame_overhead_bytes:
+        Per-frame header/trailer bytes (Ethernet+IP+transport framing).
+    mtu_bytes:
+        Payload bytes per frame; large transfers are segmented.
+    """
+
+    name: str
+    bandwidth_bits_per_sec: float
+    propagation_ps: int = 500_000  # 0.5 us: in-rack cable + transceivers
+    frame_overhead_bytes: int = 78  # Eth+IP+TCP-ish framing
+    mtu_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bits_per_sec <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.propagation_ps < 0:
+            raise ValueError("propagation must be >= 0")
+        if self.mtu_bytes < 1:
+            raise ValueError("mtu must be >= 1")
+        if self.frame_overhead_bytes < 0:
+            raise ValueError("frame overhead must be >= 0")
+
+    @property
+    def bandwidth_bytes_per_sec(self) -> float:
+        """Line rate in bytes/s."""
+        return self.bandwidth_bits_per_sec / 8.0
+
+    def frames_for(self, nbytes: int) -> int:
+        """Number of frames needed for an ``nbytes`` payload."""
+        if nbytes <= 0:
+            return 1  # control messages still need a frame
+        return math.ceil(nbytes / self.mtu_bytes)
+
+    def serialization_ps(self, nbytes: int) -> int:
+        """Time to clock ``nbytes`` (plus framing) onto the wire."""
+        wire_bytes = max(0, nbytes) + self.frames_for(nbytes) * self.frame_overhead_bytes
+        return math.ceil(wire_bytes * 8 * _PS_PER_S / self.bandwidth_bits_per_sec)
+
+    def transfer_ps(self, nbytes: int) -> int:
+        """One-way time for an ``nbytes`` message: serialize + propagate."""
+        return self.serialization_ps(nbytes) + self.propagation_ps
+
+    def goodput_bytes_per_sec(self, nbytes: int) -> float:
+        """Payload bytes/s achieved for a message of ``nbytes``."""
+        if nbytes <= 0:
+            return 0.0
+        return nbytes * _PS_PER_S / self.transfer_ps(nbytes)
+
+
+def ethernet_100g(propagation_ps: int = 500_000) -> LinkModel:
+    """100 GbE — the tutorial's line-rate target (Farview, ACCL, FANNS)."""
+    return LinkModel(
+        name="100gbe",
+        bandwidth_bits_per_sec=100e9,
+        propagation_ps=propagation_ps,
+    )
+
+
+def ethernet_25g(propagation_ps: int = 500_000) -> LinkModel:
+    """25 GbE, a common per-host cloud allocation."""
+    return LinkModel(
+        name="25gbe",
+        bandwidth_bits_per_sec=25e9,
+        propagation_ps=propagation_ps,
+    )
+
+
+def ethernet_10g(propagation_ps: int = 500_000) -> LinkModel:
+    """10 GbE legacy link."""
+    return LinkModel(
+        name="10gbe",
+        bandwidth_bits_per_sec=10e9,
+        propagation_ps=propagation_ps,
+    )

@@ -1,0 +1,201 @@
+"""Hash joins: functional engine + the CIDR'20 FPGA-vs-CPU analysis.
+
+The tutorial cites Chen et al., *"Is FPGA Useful for Hash Joins?"*
+(CIDR 2020) — a deliberately nuanced study: for standalone in-memory
+joins both platforms end up memory-bound and the FPGA's advantage is
+situational (small build sides that fit on-chip, or joins fused into a
+streaming pipeline).  This module reproduces both sides:
+
+* :func:`hash_join` — the exact inner equi-join (vectorised numpy,
+  duplicate-safe) both cost models describe;
+* :func:`cpu_join_time_s` — radix-style CPU join costs;
+* :class:`FpgaJoinModel` — build into BRAM when it fits (probe at
+  line rate) or into HBM (probe bound by random-access rate).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.cpu import CpuModel
+from ..core.clocking import FABRIC_300MHZ, ClockDomain
+from ..core.device import ALVEO_U280, Device
+from ..memory.technologies import hbm2_channel
+from .table import Table
+
+__all__ = ["FpgaJoinModel", "JoinTiming", "cpu_join_time_s", "hash_join"]
+
+
+def hash_join(
+    probe: Table,
+    build: Table,
+    probe_key: str,
+    build_key: str,
+    suffix: str = "_r",
+) -> Table:
+    """Inner equi-join; duplicate build keys expand (one-to-many).
+
+    Output columns: all probe columns, then build columns (key column
+    dropped; name collisions get ``suffix``).  Row order follows the
+    probe side (then build order within duplicates).
+    """
+    probe_keys = probe.column(probe_key)
+    build_keys = build.column(build_key)
+    if probe_keys.dtype.kind not in "iu" or build_keys.dtype.kind not in "iu":
+        raise TypeError("join keys must be integer columns")
+    order = np.argsort(build_keys, kind="stable")
+    sorted_keys = build_keys[order]
+    left = np.searchsorted(sorted_keys, probe_keys, side="left")
+    right = np.searchsorted(sorted_keys, probe_keys, side="right")
+    counts = right - left
+    probe_idx = np.repeat(np.arange(probe.n_rows), counts)
+    if probe_idx.size:
+        build_pos = np.concatenate(
+            [np.arange(lo, hi) for lo, hi in zip(left, right) if hi > lo]
+        )
+        build_idx = order[build_pos]
+    else:
+        build_idx = np.zeros(0, dtype=np.int64)
+    columns: dict[str, np.ndarray] = {
+        name: probe.column(name)[probe_idx] for name in probe.column_names
+    }
+    for name in build.column_names:
+        if name == build_key:
+            continue
+        out_name = name if name not in columns else f"{name}{suffix}"
+        columns[out_name] = build.column(name)[build_idx]
+    return Table(columns)
+
+
+def cpu_join_time_s(
+    cpu: CpuModel,
+    n_probe: int,
+    n_build: int,
+    probe_row_bytes: int,
+    build_row_bytes: int,
+    parallel: bool = True,
+) -> float:
+    """A radix-partitioned CPU hash join, roofline-priced.
+
+    Two partitioning passes (each reads and writes both inputs) plus
+    the cache-resident probe pass, and ~25 scalar ops per tuple of
+    hashing/partition bookkeeping/probing — calibrated to land in the
+    ~1 G tuples/s range published for large in-memory radix joins on
+    two-socket servers.
+    """
+    if min(n_probe, n_build) < 0:
+        raise ValueError("row counts must be >= 0")
+    total_bytes = n_probe * probe_row_bytes + n_build * build_row_bytes
+    memory = 5 * cpu.stream_time_s(total_bytes, parallel)
+    compute = cpu.compute_time_s(
+        25 * (n_probe + n_build), element_bytes=cpu.simd_bytes,
+        parallel=parallel,
+    )
+    return max(memory, compute)
+
+
+@dataclass(frozen=True)
+class JoinTiming:
+    """The FPGA join's phase times and placement decision."""
+
+    build_s: float
+    probe_s: float
+    placement: str  # "bram" or "hbm"
+
+    @property
+    def total_s(self) -> float:
+        return self.build_s + self.probe_s
+
+
+class FpgaJoinModel:
+    """The FPGA hash join of the CIDR'20 study.
+
+    The build side lands in on-chip BRAM when it fits (with a hash
+    table overhead factor); probes then pipeline at II=1.  Otherwise it
+    lands in HBM and every probe is a random channel access — the
+    memory-bound regime where FPGAs stop being special.
+    """
+
+    def __init__(
+        self,
+        device: Device = ALVEO_U280,
+        clock: ClockDomain = FABRIC_300MHZ,
+        n_hbm_channels: int = 32,
+        n_probe_pipelines: int = 16,
+        bram_fraction: float = 0.5,
+        hash_table_overhead: float = 1.5,
+    ) -> None:
+        if not 0 < bram_fraction <= 1:
+            raise ValueError("bram_fraction must be in (0, 1]")
+        if n_hbm_channels < 1:
+            raise ValueError("need at least one HBM channel")
+        if n_probe_pipelines < 1:
+            raise ValueError("need at least one probe pipeline")
+        if hash_table_overhead < 1.0:
+            raise ValueError("hash table overhead must be >= 1")
+        self.device = device
+        self.clock = clock
+        self.n_hbm_channels = n_hbm_channels
+        self.n_probe_pipelines = n_probe_pipelines
+        self.bram_budget = int(device.onchip_sram_bytes * bram_fraction)
+        self.overhead = hash_table_overhead
+        self._hbm = hbm2_channel()
+
+    @property
+    def _bram_replicas(self) -> int:
+        """Dual-ported BRAM serves two pipelines per table replica."""
+        return max(1, math.ceil(self.n_probe_pipelines / 2))
+
+    def placement_of(self, n_build: int, build_row_bytes: int) -> str:
+        """Where the build-side hash table lives (replicas included)."""
+        table_bytes = (
+            n_build * build_row_bytes * self.overhead * self._bram_replicas
+        )
+        return "bram" if table_bytes <= self.bram_budget else "hbm"
+
+    def join_time(
+        self,
+        n_probe: int,
+        n_build: int,
+        probe_row_bytes: int,
+        build_row_bytes: int,
+    ) -> JoinTiming:
+        """Phase times for a standalone join on the accelerator."""
+        if min(n_probe, n_build) < 0:
+            raise ValueError("row counts must be >= 0")
+        placement = self.placement_of(n_build, build_row_bytes)
+        if placement == "bram":
+            # Build: inserts broadcast to all replicas, one per cycle;
+            # probe: the pipelines share the replicas, II=1 each.
+            build_s = self.clock.cycles_to_seconds(n_build)
+            probe_s = self.clock.cycles_to_seconds(
+                math.ceil(n_probe / self.n_probe_pipelines)
+            )
+        else:
+            # Build and probe are HBM random accesses spread over the
+            # channels (bucket read ~64 B).
+            per_channel_build = math.ceil(n_build / self.n_hbm_channels)
+            per_channel_probe = math.ceil(n_probe / self.n_hbm_channels)
+            build_s = self._hbm.batch_random_time_ps(
+                per_channel_build, 64
+            ) / 1e12
+            probe_s = self._hbm.batch_random_time_ps(
+                per_channel_probe, 64
+            ) / 1e12
+        return JoinTiming(build_s=build_s, probe_s=probe_s,
+                          placement=placement)
+
+    def streaming_probe_rate(self, n_build: int,
+                             build_row_bytes: int) -> float:
+        """Probe tuples/s when the join is fused into a stream pipeline
+        (the regime the CIDR paper finds FPGAs genuinely useful in)."""
+        if self.placement_of(n_build, build_row_bytes) == "bram":
+            return self.clock.freq_hz
+        per_access = self._hbm.batch_random_time_ps(1, 64) \
+            - self._hbm.latency_ps
+        hbm_rate = self.n_hbm_channels * 1e12 / max(1, per_access)
+        # The probe datapath itself issues at most one tuple per cycle.
+        return min(self.clock.freq_hz, hbm_rate)

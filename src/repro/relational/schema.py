@@ -1,0 +1,87 @@
+"""Schemas for the columnar relational substrate.
+
+A :class:`Schema` is an ordered mapping of column names to
+:class:`ColumnType`.  It knows byte widths — the quantity every
+offload-vs-fetch argument is ultimately about.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ColumnType", "Schema"]
+
+
+class ColumnType(enum.Enum):
+    """Supported column storage types."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    FLOAT32 = "float32"
+    INT32 = "int32"
+    BOOL = "bool"
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes per value."""
+        return np.dtype(self.value).itemsize
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The numpy dtype."""
+        return np.dtype(self.value)
+
+    @classmethod
+    def from_dtype(cls, dtype: np.dtype) -> "ColumnType":
+        """Map a numpy dtype to a column type."""
+        name = np.dtype(dtype).name
+        for member in cls:
+            if member.value == name:
+                return member
+        raise TypeError(f"unsupported column dtype: {dtype}")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered set of typed columns."""
+
+    columns: tuple[tuple[str, ColumnType], ...]
+
+    def __post_init__(self) -> None:
+        names = [name for name, _ in self.columns]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate column names in schema: {names}")
+
+    @classmethod
+    def of(cls, **cols: ColumnType) -> "Schema":
+        """Build a schema from keyword arguments."""
+        return cls(tuple(cols.items()))
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.columns)
+
+    def type_of(self, name: str) -> ColumnType:
+        """Type of a column; raises ``KeyError`` for unknown names."""
+        for col, ctype in self.columns:
+            if col == name:
+                return ctype
+        raise KeyError(f"no column {name!r} in schema {self.names}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(col == name for col, _ in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    @property
+    def row_nbytes(self) -> int:
+        """Bytes of one row across all columns."""
+        return sum(ctype.nbytes for _, ctype in self.columns)
+
+    def project(self, names: list[str] | tuple[str, ...]) -> "Schema":
+        """Schema restricted to ``names`` (in the given order)."""
+        return Schema(tuple((n, self.type_of(n)) for n in names))

@@ -1,0 +1,232 @@
+"""A miniature SQL front end for query plans.
+
+Farview-style offload demos live or die by how easy it is to pose a
+query; this parses the subset the engines support into a
+:class:`~repro.relational.operators.QueryPlan`:
+
+.. code-block:: sql
+
+    SELECT key, val0 WHERE key < 1000 AND val0 > 0.5
+    SELECT sum(amount) AS total, count(amount) WHERE quantity >= 10
+    SELECT sum(value) GROUP BY group WHERE value > 0.1
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT select_list [WHERE predicate] [GROUP BY name]
+    select_list:= '*' | item (',' item)*
+    item       := name | func '(' name ')' [AS name]
+    predicate  := disjunction of conjunctions of comparisons,
+                  with NOT and parentheses
+    comparison := operand op operand      (op: < <= > >= = == != <>)
+    operand    := name | number
+
+The resulting plan orders operators filter -> project/aggregate, which
+is the only shape the linear pipeline supports (and the right one).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .expressions import BinOp, Expr, Not, col, lit
+from .operators import (
+    AggFunc,
+    AggSpec,
+    Aggregate,
+    Filter,
+    GroupByAggregate,
+    Operator,
+    Project,
+    QueryPlan,
+)
+
+__all__ = ["SqlError", "parse_query"]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<number>-?\d+\.\d+|-?\d+)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op><=|>=|==|!=|<>|[<>=(),*])"
+    r")"
+)
+
+_KEYWORDS = {"select", "where", "group", "by", "as", "and", "or", "not"}
+_AGG_FUNCS = {f.value: f for f in AggFunc}
+_COMPARISONS = {"<", "<=", ">", ">=", "=", "==", "!=", "<>"}
+
+
+class SqlError(ValueError):
+    """Raised for queries outside the supported subset."""
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None or match.end() == position:
+            rest = text[position:].strip()
+            if not rest:
+                break
+            raise SqlError(f"cannot tokenize near {rest[:20]!r}")
+        position = match.end()
+        token = match.group("number") or match.group("name") \
+            or match.group("op")
+        tokens.append(token)
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> str | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def peek_keyword(self) -> str | None:
+        token = self.peek()
+        return token.lower() if token and token.lower() in _KEYWORDS else None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise SqlError("unexpected end of query")
+        self.position += 1
+        return token
+
+    def expect_keyword(self, keyword: str) -> None:
+        token = self.take()
+        if token.lower() != keyword:
+            raise SqlError(f"expected {keyword.upper()}, got {token!r}")
+
+    def expect(self, symbol: str) -> None:
+        token = self.take()
+        if token != symbol:
+            raise SqlError(f"expected {symbol!r}, got {token!r}")
+
+    # -- select list ---------------------------------------------------------
+
+    def parse_select_list(self):
+        if self.peek() == "*":
+            self.take()
+            return None, []  # no projection, no aggregates
+        columns: list[str] = []
+        aggs: list[AggSpec] = []
+        while True:
+            token = self.take()
+            if token.lower() in _AGG_FUNCS and self.peek() == "(":
+                self.take()
+                column = self.take()
+                self.expect(")")
+                alias = ""
+                if self.peek_keyword() == "as":
+                    self.take()
+                    alias = self.take()
+                aggs.append(
+                    AggSpec(_AGG_FUNCS[token.lower()], column, alias)
+                )
+            else:
+                if token.lower() in _KEYWORDS:
+                    raise SqlError(f"unexpected keyword {token!r} in "
+                                   "select list")
+                columns.append(token)
+            if self.peek() == ",":
+                self.take()
+                continue
+            break
+        if columns and aggs:
+            raise SqlError(
+                "mixing plain columns and aggregates needs GROUP BY; "
+                "put the group key in GROUP BY instead"
+            )
+        return columns or None, aggs
+
+    # -- predicates -----------------------------------------------------------
+
+    def parse_predicate(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self.peek_keyword() == "or":
+            self.take()
+            left = BinOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self.peek_keyword() == "and":
+            self.take()
+            left = BinOp("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self.peek_keyword() == "not":
+            self.take()
+            return Not(self._parse_not())
+        if self.peek() == "(":
+            self.take()
+            inner = self._parse_or()
+            self.expect(")")
+            return inner
+        return self._parse_comparison()
+
+    def _parse_operand(self) -> Expr:
+        token = self.take()
+        if re.fullmatch(r"-?\d+\.\d+", token):
+            return lit(float(token))
+        if re.fullmatch(r"-?\d+", token):
+            return lit(int(token))
+        if token.lower() in _KEYWORDS:
+            raise SqlError(f"unexpected keyword {token!r} in predicate")
+        return col(token)
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_operand()
+        operator = self.take()
+        if operator not in _COMPARISONS:
+            raise SqlError(f"expected a comparison operator, got "
+                           f"{operator!r}")
+        if operator in ("=",):
+            operator = "=="
+        if operator == "<>":
+            operator = "!="
+        right = self._parse_operand()
+        return BinOp(operator, left, right)
+
+
+def parse_query(text: str) -> QueryPlan:
+    """Parse the supported SQL subset into a :class:`QueryPlan`."""
+    parser = _Parser(_tokenize(text))
+    parser.expect_keyword("select")
+    columns, aggs = parser.parse_select_list()
+
+    predicate: Expr | None = None
+    group_key: str | None = None
+    while parser.peek() is not None:
+        keyword = parser.take().lower()
+        if keyword == "where":
+            if predicate is not None:
+                raise SqlError("duplicate WHERE clause")
+            predicate = parser.parse_predicate()
+        elif keyword == "group":
+            parser.expect_keyword("by")
+            group_key = parser.take()
+        else:
+            raise SqlError(f"unexpected token {keyword!r}")
+
+    operators: list[Operator] = []
+    if predicate is not None:
+        operators.append(Filter(predicate))
+    if group_key is not None:
+        if not aggs:
+            raise SqlError("GROUP BY requires aggregate functions")
+        operators.append(GroupByAggregate(group_key, tuple(aggs)))
+    elif aggs:
+        operators.append(Aggregate(tuple(aggs)))
+    elif columns is not None:
+        operators.append(Project(tuple(columns)))
+    return QueryPlan(tuple(operators))

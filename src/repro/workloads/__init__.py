@@ -1,0 +1,21 @@
+"""Synthetic workload generators (see DESIGN.md §1 for what each
+substitutes and why the substitution preserves the relevant behaviour).
+"""
+
+from .tables import grouped_table, orders_table, uniform_table
+from .traces import RecModelSpec, lookup_trace, production_like_model
+from .vectors import VectorDataset, brute_force_knn, clustered_dataset
+from .zipf import ZipfSampler
+
+__all__ = [
+    "RecModelSpec",
+    "VectorDataset",
+    "ZipfSampler",
+    "brute_force_knn",
+    "clustered_dataset",
+    "grouped_table",
+    "lookup_trace",
+    "orders_table",
+    "production_like_model",
+    "uniform_table",
+]

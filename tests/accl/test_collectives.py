@@ -1,0 +1,181 @@
+"""Functional correctness of the collective schedules."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accl.collectives import (
+    allgather_ring,
+    allreduce_ring,
+    allreduce_tree,
+    broadcast_flat,
+    broadcast_tree,
+    expected_steps_ring,
+    expected_steps_tree,
+    gather_flat,
+    reduce_tree,
+    scatter_flat,
+)
+
+
+def _buffers(p, n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.random(n) for _ in range(p)]
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8])
+@pytest.mark.parametrize("algo", [broadcast_tree, broadcast_flat])
+def test_broadcast_delivers_root_everywhere(p, algo):
+    buffers = _buffers(p)
+    out = algo(buffers, root=0)
+    for b in out.buffers:
+        assert np.array_equal(b, buffers[0])
+
+
+def test_broadcast_nonzero_root():
+    buffers = _buffers(5)
+    out = broadcast_tree(buffers, root=3)
+    for b in out.buffers:
+        assert np.array_equal(b, buffers[3])
+
+
+def test_broadcast_tree_takes_log_steps():
+    for p in (2, 4, 8, 16):
+        out = broadcast_tree(_buffers(p))
+        assert out.n_steps == math.ceil(math.log2(p))
+    flat = broadcast_flat(_buffers(8))
+    assert flat.n_steps == 1
+    assert len(flat.steps[0]) == 7
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+def test_reduce_tree_sums_to_root(p):
+    buffers = _buffers(p, seed=1)
+    out = reduce_tree(buffers, root=0)
+    want = np.sum(buffers, axis=0)
+    assert np.allclose(out.buffers[0], want)
+
+
+def test_reduce_tree_nonzero_root():
+    buffers = _buffers(6, seed=2)
+    out = reduce_tree(buffers, root=4)
+    assert np.allclose(out.buffers[4], np.sum(buffers, axis=0))
+
+
+def test_scatter_distributes_chunks():
+    buffers = _buffers(4, n=16, seed=3)
+    out = scatter_flat(buffers, root=1)
+    for node in range(4):
+        want = buffers[1][node * 4:(node + 1) * 4]
+        assert np.array_equal(out.buffers[node], want)
+    with pytest.raises(ValueError):
+        scatter_flat(_buffers(3, n=16))  # 16 % 3 != 0
+
+
+def test_gather_concatenates_in_rank_order():
+    buffers = _buffers(4, n=4, seed=4)
+    out = gather_flat(buffers, root=2)
+    assert np.array_equal(out.buffers[2], np.concatenate(buffers))
+    # Non-root buffers untouched.
+    assert np.array_equal(out.buffers[0], buffers[0])
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+def test_allgather_every_node_has_everything(p):
+    buffers = _buffers(p, n=4, seed=5)
+    out = allgather_ring(buffers)
+    want = np.concatenate(buffers)
+    for b in out.buffers:
+        assert np.array_equal(b, want)
+    assert out.n_steps == p - 1
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8])
+@pytest.mark.parametrize("algo", [allreduce_ring, allreduce_tree])
+def test_allreduce_sum_everywhere(p, algo):
+    buffers = _buffers(p, n=8, seed=6)
+    out = algo(buffers)
+    want = np.sum(buffers, axis=0)
+    for b in out.buffers:
+        assert np.allclose(b, want)
+
+
+def test_allreduce_ring_needs_divisible_buffers():
+    with pytest.raises(ValueError):
+        allreduce_ring(_buffers(3, n=8))
+
+
+def test_allreduce_step_counts():
+    for p in (2, 4, 8):
+        ring = allreduce_ring(_buffers(p, n=p * 2))
+        tree = allreduce_tree(_buffers(p))
+        assert ring.n_steps == expected_steps_ring(p)
+        assert tree.n_steps == expected_steps_tree(p)
+
+
+def test_ring_moves_fewer_bytes_per_node_than_tree():
+    p, n = 8, 64
+    ring = allreduce_ring(_buffers(p, n=n))
+    tree = allreduce_tree(_buffers(p, n=n))
+    nbytes = _buffers(p, n=n)[0].nbytes
+    # Ring: 2(P-1) chunks of n/P per node ~ 2n bytes; tree moves whole
+    # buffers every step.
+    ring_per_node = ring.bytes_on_wire / p
+    assert ring_per_node < 2.1 * nbytes
+    assert tree.bytes_on_wire > ring_per_node * p / 2
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        broadcast_tree([])
+    with pytest.raises(IndexError):
+        broadcast_tree(_buffers(3), root=3)
+    with pytest.raises(ValueError):
+        reduce_tree([np.zeros(3), np.zeros(4)])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    p=st.integers(min_value=1, max_value=9),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_allreduce_tree_matches_numpy(p, seed):
+    buffers = _buffers(p, n=6, seed=seed)
+    out = allreduce_tree(buffers)
+    want = np.sum(buffers, axis=0)
+    for b in out.buffers:
+        assert np.allclose(b, want)
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+def test_recursive_doubling_sum_everywhere(p):
+    from repro.accl.collectives import allreduce_recursive_doubling
+
+    buffers = _buffers(p, n=8, seed=9)
+    out = allreduce_recursive_doubling(buffers)
+    want = np.sum(buffers, axis=0)
+    for b in out.buffers:
+        assert np.allclose(b, want)
+    assert out.n_steps == (p - 1).bit_length() if p > 1 else out.n_steps == 0
+
+
+def test_recursive_doubling_needs_power_of_two():
+    from repro.accl.collectives import allreduce_recursive_doubling
+
+    with pytest.raises(ValueError):
+        allreduce_recursive_doubling(_buffers(6))
+
+
+def test_recursive_doubling_halves_tree_steps():
+    from repro.accl.collectives import (
+        allreduce_recursive_doubling,
+        allreduce_tree,
+    )
+
+    p = 16
+    rd = allreduce_recursive_doubling(_buffers(p))
+    tree = allreduce_tree(_buffers(p))
+    assert rd.n_steps == tree.n_steps // 2

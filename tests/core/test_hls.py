@@ -1,0 +1,109 @@
+"""Unit tests for the mini HLS front end."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hls import LoopNest, Pragmas, synthesize
+
+
+def _simple_loop(n=1000, **kwargs):
+    return LoopNest(
+        name="vadd",
+        trip_count=n,
+        ops={"mem_read": 2, "add": 1, "mem_write": 1},
+        **kwargs,
+    )
+
+
+def test_iteration_latency_sums_op_chain():
+    loop = _simple_loop()
+    # 2 reads (2 cy each) + add (1) + write (1) = 6.
+    assert loop.iteration_latency() == 6
+
+
+def test_pipelined_kernel_reaches_ii_1():
+    spec = synthesize(_simple_loop(), Pragmas(pipeline=True, pipeline_ii=1))
+    assert spec.ii == 1
+    assert spec.depth == 6
+
+
+def test_no_pipeline_degenerates_to_temporal():
+    loop = _simple_loop()
+    spec = synthesize(loop, Pragmas(pipeline=False))
+    assert spec.ii == loop.iteration_latency()
+    # Pipelining must improve latency for long loops.
+    piped = synthesize(loop, Pragmas(pipeline=True))
+    assert piped.latency_cycles(1000) < spec.latency_cycles(1000)
+
+
+def test_loop_carried_dependence_bounds_ii():
+    loop = LoopNest(
+        name="accum",
+        trip_count=100,
+        ops={"mem_read": 1, "add": 1},
+        dependence_distance=1,
+    )
+    spec = synthesize(loop, Pragmas(pipeline=True, pipeline_ii=1))
+    # latency 3, distance 1 -> min II 3 even though 1 was requested.
+    assert spec.ii == loop.iteration_latency()
+
+
+def test_dependence_distance_relaxes_min_ii():
+    shallow = LoopNest("a", 10, {"mul": 1}, dependence_distance=1)
+    relaxed = LoopNest("b", 10, {"mul": 1}, dependence_distance=3)
+    assert relaxed.min_ii() == 1
+    assert shallow.min_ii() == 3
+
+
+def test_unroll_multiplies_resources_and_throughput():
+    loop = _simple_loop()
+    narrow = synthesize(loop, Pragmas(unroll=1))
+    wide = synthesize(loop, Pragmas(unroll=8))
+    assert wide.unroll == 8
+    assert wide.resources.lut > narrow.resources.lut
+    assert wide.throughput_items_per_sec() == pytest.approx(
+        8 * narrow.throughput_items_per_sec()
+    )
+
+
+def test_sequential_cycles_is_trip_times_latency():
+    loop = _simple_loop(n=50)
+    assert loop.sequential_cycles() == 50 * loop.iteration_latency()
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(ValueError, match="unknown op"):
+        LoopNest("bad", 10, {"teleport": 1})
+
+
+def test_invalid_pragmas_rejected():
+    with pytest.raises(ValueError):
+        Pragmas(pipeline_ii=0)
+    with pytest.raises(ValueError):
+        Pragmas(unroll=0)
+
+
+def test_negative_trip_count_rejected():
+    with pytest.raises(ValueError):
+        LoopNest("bad", -1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=100_000),
+    ii=st.integers(min_value=1, max_value=8),
+    unroll=st.integers(min_value=1, max_value=16),
+)
+def test_property_pipelining_never_slower_than_sequential(n, ii, unroll):
+    """Spatial execution with any pragma set beats temporal execution."""
+    loop = _simple_loop(n=n)
+    spec = synthesize(loop, Pragmas(pipeline=True, pipeline_ii=ii, unroll=unroll))
+    assert spec.latency_cycles(n) <= loop.sequential_cycles() + spec.depth
+
+
+@settings(max_examples=40, deadline=None)
+@given(dep=st.integers(min_value=0, max_value=10))
+def test_property_min_ii_monotone_in_dependence(dep):
+    loop = LoopNest("l", 10, {"div": 1}, dependence_distance=dep)
+    assert 1 <= loop.min_ii() <= loop.iteration_latency()

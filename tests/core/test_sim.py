@@ -1,0 +1,268 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.core.sim import (
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+    all_of,
+    any_of,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(10)
+        return sim.now
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == 10
+    assert sim.now == 10
+
+
+def test_zero_delay_timeout_fires_at_now():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(0)
+        return sim.now
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == 0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_events_fire_in_time_then_fifo_order():
+    sim = Simulator()
+    log = []
+
+    def worker(sim, name, delay):
+        yield sim.timeout(delay)
+        log.append(name)
+
+    sim.spawn(worker(sim, "late", 5))
+    sim.spawn(worker(sim, "early", 1))
+    sim.spawn(worker(sim, "tie-a", 3))
+    sim.spawn(worker(sim, "tie-b", 3))
+    sim.run()
+    assert log == ["early", "tie-a", "tie-b", "late"]
+
+
+def test_process_join_returns_value():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(7)
+        return "done"
+
+    def parent(sim):
+        value = yield sim.spawn(child(sim))
+        return (sim.now, value)
+
+    p = sim.spawn(parent(sim))
+    sim.run()
+    assert p.value == (7, "done")
+
+
+def test_join_already_finished_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1)
+        return 42
+
+    def parent(sim, child_proc):
+        yield sim.timeout(10)
+        value = yield child_proc
+        return value
+
+    c = sim.spawn(child(sim))
+    p = sim.spawn(parent(sim, c))
+    sim.run()
+    assert p.value == 42
+    assert sim.now == 10
+
+
+def test_manual_event_succeed_wakes_waiter():
+    sim = Simulator()
+    gate = sim.event()
+
+    def waiter(sim, gate):
+        value = yield gate
+        return (sim.now, value)
+
+    def opener(sim, gate):
+        yield sim.timeout(4)
+        gate.succeed("open")
+
+    w = sim.spawn(waiter(sim, gate))
+    sim.spawn(opener(sim, gate))
+    sim.run()
+    assert w.value == (4, "open")
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_propagates_into_process():
+    sim = Simulator()
+    gate = sim.event()
+
+    def waiter(sim, gate):
+        try:
+            yield gate
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    w = sim.spawn(waiter(sim, gate))
+    gate.fail(ValueError("boom"))
+    sim.run()
+    assert w.value == "caught boom"
+
+
+def test_uncaught_process_failure_raises_from_run_until():
+    sim = Simulator()
+    gate = sim.event()
+
+    def waiter(sim, gate):
+        yield gate
+
+    w = sim.spawn(waiter(sim, gate))
+    gate.fail(ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        sim.run_until_process(w)
+
+
+def test_all_of_waits_for_every_member():
+    sim = Simulator()
+
+    def proc(sim):
+        values = yield all_of(sim, [sim.timeout(3, "a"), sim.timeout(8, "b")])
+        return (sim.now, values)
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == (8, ["a", "b"])
+
+
+def test_any_of_fires_on_first_member():
+    sim = Simulator()
+
+    def proc(sim):
+        first = yield any_of(sim, [sim.timeout(3, "a"), sim.timeout(8, "b")])
+        return (sim.now, first.value)
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == (3, "a")
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def proc(sim):
+        values = yield all_of(sim, [])
+        return values
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == []
+
+
+def test_interrupt_reaches_waiting_process():
+    sim = Simulator()
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100)
+        except Interrupt as intr:
+            return ("interrupted", sim.now, intr.cause)
+
+    def interrupter(sim, victim):
+        yield sim.timeout(5)
+        victim.interrupt("wake up")
+
+    victim = sim.spawn(sleeper(sim))
+    sim.spawn(interrupter(sim, victim))
+    sim.run()
+    assert victim.value == ("interrupted", 5, "wake up")
+
+
+def test_interrupt_finished_process_is_error():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1)
+
+    p = sim.spawn(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_run_until_limits_time():
+    sim = Simulator()
+    log = []
+
+    def worker(sim):
+        for _ in range(10):
+            yield sim.timeout(10)
+            log.append(sim.now)
+
+    sim.spawn(worker(sim))
+    sim.run(until=35)
+    assert log == [10, 20, 30]
+    assert sim.now == 35
+
+
+def test_run_until_process_detects_deadlock():
+    sim = Simulator()
+    gate = sim.event()
+
+    def waiter(sim, gate):
+        yield gate
+
+    w = sim.spawn(waiter(sim, gate))
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_process(w)
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    p = sim.spawn(bad(sim))
+    with pytest.raises(SimulationError, match="expected an Event"):
+        sim.run_until_process(p)
+
+
+def test_spawn_requires_generator():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.spawn(lambda: None)  # type: ignore[arg-type]
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    sim.timeout(12)
+    assert sim.peek() == 12
+    sim.run()
+    assert sim.peek() is None

@@ -1,0 +1,115 @@
+"""Stress and determinism properties of the event engine.
+
+The whole reproduction rests on the simulator being deterministic and
+causally sound; these properties check that under randomized load.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sim import Simulator
+from repro.core.stream import END_OF_STREAM, Stream
+
+
+def _random_workload(seed: int, n_processes: int):
+    """Spawn processes doing random timeout/stream work; return a log."""
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    log: list[tuple[int, int, int]] = []
+    streams = [Stream(sim, depth=2) for _ in range(3)]
+    delays = rng.integers(1, 50, size=(n_processes, 8))
+    choices = rng.integers(0, 3, size=(n_processes, 8))
+
+    def worker(sim, pid):
+        for step in range(8):
+            yield sim.timeout(int(delays[pid, step]))
+            stream = streams[choices[pid, step]]
+            if pid % 2 == 0:
+                yield stream.put((pid, step))
+            else:
+                ok, item = stream.try_get()
+                if not ok:
+                    continue
+            log.append((sim.now, pid, step))
+
+    for pid in range(n_processes):
+        sim.spawn(worker(sim, pid), name=f"w{pid}")
+    sim.run()
+    return log, sim.now
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_processes=st.integers(min_value=1, max_value=24),
+)
+def test_property_runs_are_deterministic(seed, n_processes):
+    """Identical seeds give bit-identical event logs and end times."""
+    log_a, end_a = _random_workload(seed, n_processes)
+    log_b, end_b = _random_workload(seed, n_processes)
+    assert log_a == log_b
+    assert end_a == end_b
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_time_is_monotone(seed):
+    """Logged timestamps never decrease (causality)."""
+    log, _ = _random_workload(seed, 12)
+    times = [t for t, _, _ in log]
+    assert times == sorted(times)
+
+
+def test_thousand_processes_complete():
+    sim = Simulator()
+    done = []
+
+    def worker(sim, pid):
+        yield sim.timeout(pid % 97 + 1)
+        done.append(pid)
+
+    for pid in range(1000):
+        sim.spawn(worker(sim, pid), name=f"p{pid}")
+    sim.run()
+    assert sorted(done) == list(range(1000))
+
+
+def test_deep_producer_consumer_chain():
+    """A 50-stage chain of streams moves every item through."""
+    sim = Simulator()
+    n_stages, n_items = 50, 20
+    streams = [Stream(sim, depth=1) for _ in range(n_stages + 1)]
+
+    def stage(sim, inp, out):
+        while True:
+            item = yield inp.get()
+            if item is END_OF_STREAM:
+                yield out.put(END_OF_STREAM)
+                return
+            yield sim.timeout(1)
+            yield out.put(item)
+
+    def producer(sim, out):
+        for i in range(n_items):
+            yield out.put(i)
+        yield out.put(END_OF_STREAM)
+
+    received = []
+
+    def consumer(sim, inp):
+        while True:
+            item = yield inp.get()
+            if item is END_OF_STREAM:
+                return
+            received.append(item)
+
+    sim.spawn(producer(sim, streams[0]))
+    for inp, out in zip(streams[:-1], streams[1:]):
+        sim.spawn(stage(sim, inp, out))
+    proc = sim.spawn(consumer(sim, streams[-1]))
+    sim.run_until_process(proc)
+    assert received == list(range(n_items))
+    # Pipeline fill + streaming: at least n_stages + n_items - 1 ticks.
+    assert sim.now >= n_stages + n_items - 1

@@ -1,0 +1,184 @@
+"""Unit and property tests for stream topology helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sim import Simulator
+from repro.core.stream import END_OF_STREAM, Stream
+from repro.core.topology import Fork, Merge, RoundRobinSplit, Zip
+
+
+def _feed(sim, stream, items):
+    def producer(sim, stream):
+        for item in items:
+            yield stream.put(item)
+        yield stream.put(END_OF_STREAM)
+
+    sim.spawn(producer(sim, stream))
+
+
+def _drain(sim, stream, into):
+    def consumer(sim, stream):
+        while True:
+            item = yield stream.get()
+            if item is END_OF_STREAM:
+                return
+            into.append(item)
+
+    return sim.spawn(consumer(sim, stream))
+
+
+def test_fork_broadcasts_to_all_outputs():
+    sim = Simulator()
+    inp = Stream(sim, 2)
+    outs = [Stream(sim, 2) for _ in range(3)]
+    collected = [[] for _ in range(3)]
+    _feed(sim, inp, [1, 2, 3])
+    fork = Fork(sim, inp, outs)
+    for out, into in zip(outs, collected):
+        _drain(sim, out, into)
+    sim.run()
+    assert collected == [[1, 2, 3]] * 3
+    assert fork.items == 3
+
+
+def test_fork_backpressure_from_slow_consumer():
+    sim = Simulator()
+    inp = Stream(sim, 1)
+    fast, slow = Stream(sim, 1), Stream(sim, 1)
+    _feed(sim, inp, list(range(6)))
+    Fork(sim, inp, [fast, slow])
+    fast_items, slow_items = [], []
+    _drain(sim, fast, fast_items)
+
+    def slow_consumer(sim, stream):
+        while True:
+            item = yield stream.get()
+            if item is END_OF_STREAM:
+                return
+            yield sim.timeout(100)
+            slow_items.append(item)
+
+    proc = sim.spawn(slow_consumer(sim, slow))
+    sim.run()
+    assert fast_items == slow_items == list(range(6))
+    assert sim.now >= 600  # the slow consumer paced everyone
+
+
+def test_round_robin_split_distributes():
+    sim = Simulator()
+    inp = Stream(sim, 2)
+    outs = [Stream(sim, 4) for _ in range(3)]
+    collected = [[] for _ in range(3)]
+    _feed(sim, inp, list(range(7)))
+    RoundRobinSplit(sim, inp, outs)
+    for out, into in zip(outs, collected):
+        _drain(sim, out, into)
+    sim.run()
+    assert collected[0] == [0, 3, 6]
+    assert collected[1] == [1, 4]
+    assert collected[2] == [2, 5]
+
+
+def test_merge_collects_everything_once():
+    sim = Simulator()
+    inps = [Stream(sim, 2) for _ in range(3)]
+    out = Stream(sim, 2)
+    _feed(sim, inps[0], ["a1", "a2"])
+    _feed(sim, inps[1], ["b1"])
+    _feed(sim, inps[2], [])
+    merge = Merge(sim, inps, out)
+    collected = []
+    consumer = _drain(sim, out, collected)
+    sim.run_until_process(consumer)
+    assert sorted(collected) == ["a1", "a2", "b1"]
+    assert merge.items == 3
+
+
+def test_split_then_merge_is_lossless():
+    sim = Simulator()
+    source = Stream(sim, 2)
+    lanes = [Stream(sim, 2) for _ in range(4)]
+    merged = Stream(sim, 2)
+    items = list(range(20))
+    _feed(sim, source, items)
+    RoundRobinSplit(sim, source, lanes)
+    Merge(sim, lanes, merged)
+    collected = []
+    consumer = _drain(sim, merged, collected)
+    sim.run_until_process(consumer)
+    assert sorted(collected) == items
+
+
+def test_zip_combines_pairs():
+    sim = Simulator()
+    left, right = Stream(sim, 2), Stream(sim, 2)
+    out = Stream(sim, 2)
+    _feed(sim, left, [1, 2, 3])
+    _feed(sim, right, [10, 20, 30])
+    Zip(sim, [left, right], out, fn=lambda a, b: a + b)
+    collected = []
+    consumer = _drain(sim, out, collected)
+    sim.run_until_process(consumer)
+    assert collected == [11, 22, 33]
+
+
+def test_zip_stops_at_shorter_stream():
+    sim = Simulator()
+    left, right = Stream(sim, 2), Stream(sim, 2)
+    out = Stream(sim, 2)
+    _feed(sim, left, [1, 2, 3, 4, 5])
+    _feed(sim, right, [10])
+    zipper = Zip(sim, [left, right], out)
+    collected = []
+    consumer = _drain(sim, out, collected)
+    sim.run_until_process(consumer)
+    assert collected == [(1, 10)]
+    assert zipper.items == 1
+
+
+def test_default_zip_fn_tuples():
+    sim = Simulator()
+    a, b, c = (Stream(sim, 2) for _ in range(3))
+    out = Stream(sim, 4)
+    _feed(sim, a, [1])
+    _feed(sim, b, [2])
+    _feed(sim, c, [3])
+    Zip(sim, [a, b, c], out)
+    collected = []
+    consumer = _drain(sim, out, collected)
+    sim.run_until_process(consumer)
+    assert collected == [(1, 2, 3)]
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Fork(sim, Stream(sim), [])
+    with pytest.raises(ValueError):
+        RoundRobinSplit(sim, Stream(sim), [])
+    with pytest.raises(ValueError):
+        Merge(sim, [], Stream(sim))
+    with pytest.raises(ValueError):
+        Zip(sim, [Stream(sim)], Stream(sim))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    items=st.lists(st.integers(), max_size=40),
+    n_lanes=st.integers(min_value=1, max_value=5),
+    depth=st.integers(min_value=1, max_value=4),
+)
+def test_property_split_merge_roundtrip(items, n_lanes, depth):
+    sim = Simulator()
+    source = Stream(sim, depth)
+    lanes = [Stream(sim, depth) for _ in range(n_lanes)]
+    merged = Stream(sim, depth)
+    _feed(sim, source, items)
+    RoundRobinSplit(sim, source, lanes)
+    Merge(sim, lanes, merged)
+    collected = []
+    consumer = _drain(sim, merged, collected)
+    sim.run_until_process(consumer)
+    assert sorted(collected) == sorted(items)

@@ -1,0 +1,67 @@
+"""Tests for joint index/hardware co-design."""
+
+import pytest
+
+from repro.fanns.generator import co_design
+from repro.fanns.ivf import build_ivfpq
+from repro.workloads.vectors import clustered_dataset
+
+_DS = clustered_dataset(
+    n=3000, dim=16, n_queries=25, gt_k=10, n_clusters=24,
+    cluster_std=0.2, seed=19,
+)
+
+# Candidate indexes: a coarse-PQ one (fast, low ceiling) and a fine-PQ
+# one (slower per candidate... same byte count here differs via m).
+_CANDIDATES = {
+    "m2": build_ivfpq(_DS.base, nlist=32, m=2, ksub=64, seed=19),
+    "m8": build_ivfpq(_DS.base, nlist=32, m=8, ksub=64, seed=19),
+}
+
+
+def test_co_design_picks_a_candidate_meeting_target():
+    name, point, per_index = co_design(
+        _CANDIDATES, _DS.queries, _DS.ground_truth, recall_target=0.4,
+        list_scale=500,
+    )
+    assert name in _CANDIDATES
+    assert point is not None
+    assert point.recall >= 0.4
+    assert set(per_index) == set(_CANDIDATES)
+    reachable = [p for p in per_index.values() if p is not None]
+    assert point.qps == max(p.qps for p in reachable)
+
+
+def test_high_target_excludes_coarse_pq():
+    """m=2 PQ cannot reach high recall; co-design must fall back to m=8."""
+    name, point, per_index = co_design(
+        _CANDIDATES, _DS.queries, _DS.ground_truth, recall_target=0.8,
+        list_scale=500,
+    )
+    assert per_index["m2"] is None or per_index["m2"].recall >= 0.8
+    if per_index["m2"] is None:
+        assert name == "m8"
+    assert point is None or point.recall >= 0.8
+
+
+def test_low_target_prefers_cheaper_codes_when_feasible():
+    """When both candidates reach the target, the higher-QPS one wins;
+    m=2 codes halve the scan bytes, so it should win at low recall."""
+    name, point, per_index = co_design(
+        _CANDIDATES, _DS.queries, _DS.ground_truth, recall_target=0.2,
+        list_scale=2000,
+    )
+    assert point is not None
+    if per_index["m2"] is not None and per_index["m8"] is not None:
+        assert point.qps >= per_index["m8"].qps
+
+
+def test_empty_candidates_rejected():
+    with pytest.raises(ValueError):
+        co_design({}, _DS.queries, _DS.ground_truth, recall_target=0.5)
+
+
+def test_invalid_target_rejected():
+    with pytest.raises(ValueError):
+        co_design(_CANDIDATES, _DS.queries, _DS.ground_truth,
+                  recall_target=1.01)

@@ -1,0 +1,67 @@
+"""Tests for sharded FANNS over an FPGA cluster."""
+
+import numpy as np
+import pytest
+
+from repro.fanns.distributed import DistributedFanns
+from repro.fanns.ivf import build_ivfpq
+from repro.workloads.vectors import clustered_dataset
+
+_DS = clustered_dataset(
+    n=3000, dim=16, n_queries=20, gt_k=10, n_clusters=24,
+    cluster_std=0.2, seed=11,
+)
+_INDEX = build_ivfpq(_DS.base, nlist=32, m=4, ksub=64, seed=11)
+
+
+def test_sharded_result_equals_single_node():
+    dist = DistributedFanns(_INDEX, n_nodes=4)
+    out = dist.search(_DS.queries, k=10, nprobe=16)
+    single = _INDEX.search(_DS.queries, 10, 16)
+    assert np.array_equal(out.ids, single)
+
+
+def test_explicit_shard_and_merge_matches_search():
+    """The distributed algorithm itself (per-shard top-k + root merge)
+    returns exactly what the shortcut functional path returns."""
+    dist = DistributedFanns(_INDEX, n_nodes=4)
+    for nprobe in (1, 4, 16, 32):
+        shortcut = dist.search(_DS.queries, k=10, nprobe=nprobe).ids
+        explicit = dist.shard_and_merge(_DS.queries, k=10, nprobe=nprobe)
+        assert np.array_equal(shortcut, explicit), f"nprobe={nprobe}"
+
+
+def test_shards_cover_all_lists():
+    dist = DistributedFanns(_INDEX, n_nodes=5)
+    counts = dist.shard_list_counts()
+    assert sum(counts) == _INDEX.nlist
+    assert max(counts) - min(counts) <= 1  # round-robin balance
+
+
+def test_throughput_scales_with_nodes():
+    single = DistributedFanns(_INDEX, n_nodes=1, list_scale=1000)
+    quad = DistributedFanns(_INDEX, n_nodes=4, list_scale=1000)
+    out1 = single.search(_DS.queries, 10, 32)
+    out4 = quad.search(_DS.queries, 10, 32)
+    assert out4.qps > 1.5 * out1.qps
+
+
+def test_latency_includes_gather_and_merge():
+    dist = DistributedFanns(_INDEX, n_nodes=8, list_scale=1000)
+    out = dist.search(_DS.queries, 10, 32)
+    assert out.gather_s > 0
+    assert out.merge_s > 0
+    assert out.query_latency_s == pytest.approx(
+        out.node_latency_s + out.gather_s + out.merge_s
+    )
+
+
+def test_single_node_has_no_gather_cost():
+    dist = DistributedFanns(_INDEX, n_nodes=1)
+    out = dist.search(_DS.queries, 10, 8)
+    assert out.gather_s == 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DistributedFanns(_INDEX, n_nodes=0)

@@ -1,0 +1,100 @@
+"""Unit tests for k-means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fanns.kmeans import kmeans, kmeans_pp_init
+
+
+def _blobs(n_per=50, k=4, dim=2, spread=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.random((k, dim)).astype(np.float32) * 10
+    points = np.concatenate(
+        [c + rng.normal(0, spread, (n_per, dim)).astype(np.float32)
+         for c in centers]
+    )
+    return points, centers
+
+
+def test_recovers_well_separated_clusters():
+    points, centers = _blobs()
+    result = kmeans(points, 4, seed=1)
+    # Each true center should have a learned centroid nearby.
+    for c in centers:
+        d = ((result.centroids - c) ** 2).sum(axis=1).min()
+        assert d < 0.1
+
+
+def test_assignments_match_nearest_centroid():
+    points, _ = _blobs(seed=2)
+    result = kmeans(points, 4, seed=2)
+    d = ((points[:, None, :] - result.centroids[None]) ** 2).sum(axis=2)
+    assert np.array_equal(result.assignments, d.argmin(axis=1))
+
+
+def test_inertia_decreases_with_more_clusters():
+    points, _ = _blobs(seed=3)
+    few = kmeans(points, 2, seed=3)
+    many = kmeans(points, 8, seed=3)
+    assert many.inertia < few.inertia
+
+
+def test_deterministic_given_seed():
+    points, _ = _blobs(seed=4)
+    a = kmeans(points, 4, seed=9)
+    b = kmeans(points, 4, seed=9)
+    assert np.array_equal(a.centroids, b.centroids)
+
+
+def test_k_equals_n_gives_zero_inertia():
+    rng = np.random.default_rng(5)
+    points = rng.random((10, 3)).astype(np.float32)
+    result = kmeans(points, 10, seed=5)
+    assert result.inertia == pytest.approx(0.0, abs=1e-6)
+
+
+def test_handles_duplicate_points():
+    points = np.ones((20, 4), dtype=np.float32)
+    result = kmeans(points, 3, seed=6)
+    assert result.centroids.shape == (3, 4)
+    assert np.isfinite(result.inertia)
+
+
+def test_invalid_k_rejected():
+    points = np.zeros((5, 2), dtype=np.float32)
+    with pytest.raises(ValueError):
+        kmeans(points, 0)
+    with pytest.raises(ValueError):
+        kmeans(points, 6)
+    with pytest.raises(ValueError):
+        kmeans(np.zeros(5, dtype=np.float32), 2)
+
+
+def test_kmeans_pp_init_spreads_centroids():
+    points, centers = _blobs(seed=7)
+    rng = np.random.default_rng(7)
+    init = kmeans_pp_init(points, 4, rng)
+    # Initial centroids should not all come from one blob.
+    pairwise = ((init[:, None] - init[None]) ** 2).sum(axis=2)
+    np.fill_diagonal(pairwise, np.inf)
+    assert pairwise.min() > 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=8, max_value=60),
+    k=st.integers(min_value=1, max_value=8),
+    dim=st.integers(min_value=1, max_value=6),
+)
+def test_property_result_shapes_and_bounds(n, k, dim):
+    rng = np.random.default_rng(42)
+    points = rng.random((n, dim)).astype(np.float32)
+    k = min(k, n)
+    result = kmeans(points, k, seed=0)
+    assert result.centroids.shape == (k, dim)
+    assert result.assignments.shape == (n,)
+    assert result.assignments.min() >= 0
+    assert result.assignments.max() < k
+    assert result.inertia >= 0

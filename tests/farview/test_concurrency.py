@@ -1,0 +1,79 @@
+"""Tests for the multi-client Farview event simulation."""
+
+import pytest
+
+from repro.farview.concurrency import simulate_clients
+from repro.farview.server import FarviewServer
+from repro.relational import (
+    AggFunc,
+    AggSpec,
+    Aggregate,
+    Filter,
+    QueryPlan,
+    Table,
+    col,
+)
+from repro.workloads import uniform_table
+
+
+def _setup(n_rows=200_000):
+    server = FarviewServer()
+    server.store("t", Table(uniform_table(n_rows, n_payload_cols=2)))
+    plan = QueryPlan((
+        Filter(col("key") < 10_000),
+        Aggregate((AggSpec(AggFunc.SUM, "val0"),)),
+    ))
+    return server, plan
+
+
+def test_validation():
+    server, plan = _setup()
+    with pytest.raises(ValueError):
+        simulate_clients(server, plan, "t", n_clients=0)
+    with pytest.raises(ValueError):
+        simulate_clients(server, plan, "t", 1, queries_per_client=0)
+    with pytest.raises(ValueError):
+        simulate_clients(server, plan, "t", 1, mode="teleport")
+
+
+def test_single_client_sane():
+    server, plan = _setup()
+    out = simulate_clients(server, plan, "t", n_clients=1)
+    assert out.queries_total == 4
+    assert out.makespan_s > 0
+    assert out.mean_latency_s > 0
+    assert 0 <= out.memory_busy_fraction <= 1
+    assert 0 <= out.network_busy_fraction <= 1
+
+
+def test_offload_aggregate_qps_scales_before_fetch():
+    """More tenants fit on one node when only results cross the wire."""
+    server, plan = _setup()
+    n = 8
+    off = simulate_clients(server, plan, "t", n, mode="offload")
+    fetch = simulate_clients(server, plan, "t", n, mode="fetch")
+    assert off.aggregate_qps > fetch.aggregate_qps
+    # Fetch saturates the network; offload does not.
+    assert fetch.network_busy_fraction > 0.9
+    assert off.network_busy_fraction < 0.1
+
+
+def test_offload_scaling_bounded_by_memory_scan():
+    """Back-to-back clients saturate the shared DRAM scan; aggregate
+    QPS stays flat (no collapse) as tenants pile on."""
+    server, plan = _setup()
+    qps = [
+        simulate_clients(server, plan, "t", n, mode="offload").aggregate_qps
+        for n in (1, 4, 16)
+    ]
+    assert qps[2] <= 16 * qps[0] * 1.01  # bounded by the shared scan
+    assert min(qps) > 0.9 * max(qps)     # and it does not degrade
+
+
+def test_fetch_latency_higher_under_equal_load():
+    """At the same tenant count, fetch queries queue on the saturated
+    wire and see several-fold higher latency than offloaded ones."""
+    server, plan = _setup()
+    off_8 = simulate_clients(server, plan, "t", 8, mode="offload")
+    fetch_8 = simulate_clients(server, plan, "t", 8, mode="fetch")
+    assert fetch_8.mean_latency_s > 3 * off_8.mean_latency_s

@@ -1,0 +1,186 @@
+"""Integration: functional pipelines running live in the event engine.
+
+These tests wire several subsystems together — topology helpers,
+kernels, memory ports, and the use-case algorithms — and check both
+functional equality with the direct numpy paths and the expected
+timing behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Burst,
+    BurstKernel,
+    KernelSpec,
+    Merge,
+    RoundRobinSplit,
+    Simulator,
+    Sink,
+    Source,
+    Stream,
+)
+from repro.fanns.pq import train_pq
+
+
+def _adc_pipeline(n_pes: int, codes: np.ndarray, table: np.ndarray, pq):
+    """Distances of ``codes`` via an ADC PE array in the simulator."""
+    sim = Simulator()
+    source_stream = Stream(sim, 4, "codes")
+    lanes = [Stream(sim, 4, f"lane{i}") for i in range(n_pes)]
+    scored = [Stream(sim, 4, f"scored{i}") for i in range(n_pes)]
+    merged = Stream(sim, 4, "merged")
+
+    chunk = 64
+    bursts = []
+    for start in range(0, len(codes), chunk):
+        part = codes[start:start + chunk]
+        bursts.append(Burst(payload=(start, part), count=len(part)))
+    Source(sim, source_stream, bursts)
+    RoundRobinSplit(sim, source_stream, lanes)
+
+    spec = KernelSpec("adc-pe", ii=1, depth=12)
+
+    def score(burst):
+        start, part = burst.payload
+        dists = pq.adc_distances(table, part)
+        return Burst(payload=(start, dists), count=len(part))
+
+    for lane, out in zip(lanes, scored):
+        BurstKernel(sim, spec, score, lane, out)
+    Merge(sim, scored, merged)
+    sink = Sink(sim, merged)
+    sim.run()
+
+    result = np.empty(len(codes), dtype=np.float32)
+    for start, dists in sink.payloads:
+        result[start:start + len(dists)] = dists
+    return result, sink.done_at_ps
+
+
+def test_adc_pe_array_matches_direct_adc_and_scales():
+    rng = np.random.default_rng(3)
+    vectors = rng.random((600, 16), dtype=np.float32)
+    pq = train_pq(vectors, m=4, ksub=32, max_iterations=5)
+    codes = pq.encode(vectors)
+    table = pq.adc_table(vectors[0])
+    want = pq.adc_distances(table, codes)
+
+    got_1, t_1 = _adc_pipeline(1, codes, table, pq)
+    got_4, t_4 = _adc_pipeline(4, codes, table, pq)
+    assert np.allclose(got_1, want, rtol=1e-5)
+    assert np.allclose(got_4, want, rtol=1e-5)
+    # More PEs finish sooner (parallel lanes, same work).
+    assert t_4 < t_1
+
+
+def test_offload_four_way_agreement():
+    """CPU engine == offload execution == burst-kernel pipeline ==
+    fetch-side execution, on one query."""
+    from repro.core.kernel import Sink as KSink
+    from repro.farview import FarviewClient, FarviewServer
+    from repro.relational import (
+        Filter,
+        Project,
+        QueryPlan,
+        Table,
+        col,
+        execute,
+        make_table_bursts,
+        plan_kernels,
+    )
+    from repro.workloads import uniform_table
+
+    table = Table(uniform_table(5_000, seed=9))
+    plan = QueryPlan((
+        Filter(col("key") < 400_000),
+        Project(("key", "val0")),
+    ))
+    reference = execute(plan, table)
+
+    server = FarviewServer()
+    server.store("t", table)
+    client = FarviewClient(server)
+    assert client.query_offload(plan, "t").result.equals(reference)
+    assert client.query_fetch(plan, "t").result.equals(reference)
+
+    sim = Simulator()
+    kernels = plan_kernels(plan, table.schema.row_nbytes)
+    streams = [Stream(sim, 4) for _ in range(len(kernels) + 1)]
+    Source(sim, streams[0], make_table_bursts(table, 512))
+    for ok, inp, out in zip(kernels, streams[:-1], streams[1:]):
+        BurstKernel(sim, ok.spec, ok.fn, inp, out)
+    sink = KSink(sim, streams[-1])
+    sim.run()
+    merged = Table({
+        name: np.concatenate([t.column(name) for t in sink.payloads])
+        for name in sink.payloads[0].column_names
+    })
+    assert merged.equals(reference)
+
+
+def test_distributed_distinct_count_with_sketch_merge():
+    """HLL sketches built per cluster node and merged at the root give
+    the same estimate as a centralized sketch — the pattern ACCL-style
+    reductions enable for mergeable aggregates."""
+    from repro.accl import FpgaCluster
+    from repro.operators import HyperLogLog
+
+    rng = np.random.default_rng(11)
+    n_nodes = 4
+    partitions = [
+        rng.integers(0, 1 << 60, size=50_000) for _ in range(n_nodes)
+    ]
+
+    centralized = HyperLogLog(12)
+    for part in partitions:
+        centralized.add(part)
+
+    node_sketches = []
+    for part in partitions:
+        sketch = HyperLogLog(12)
+        sketch.add(part)
+        node_sketches.append(sketch)
+    merged = node_sketches[0]
+    for other in node_sketches[1:]:
+        merged = merged.merge(other)
+    assert np.array_equal(merged.registers, centralized.registers)
+
+    # And the shipping cost is one register array per node: time it
+    # through the cluster's gather.
+    cluster = FpgaCluster(n_nodes)
+    buffers = [s.registers.astype(np.float64) for s in node_sketches]
+    outcome = cluster.gather(buffers, root=0)
+    assert outcome.time_s > 0
+    assert outcome.bytes_on_wire == (n_nodes - 1) * buffers[0].nbytes
+
+
+def test_memory_port_feeds_kernel_pipeline():
+    """A scan paced by a memory port upstream of a kernel: completion
+    time respects the slower of port and kernel."""
+    from repro.memory.model import AccessPattern, MemoryPort
+    from repro.memory.technologies import ddr4_channel
+
+    sim = Simulator()
+    port = MemoryPort(sim, ddr4_channel())
+    stream = Stream(sim, 2)
+    out = Stream(sim, 2)
+    spec = KernelSpec("scan-op", ii=1, depth=4, unroll=4)
+    BurstKernel(sim, spec, lambda b: b, stream, out)
+    sink = Sink(sim, out)
+
+    n_bursts, rows, row_bytes = 16, 4096, 16
+
+    def reader(sim):
+        from repro.core.stream import END_OF_STREAM
+
+        for _ in range(n_bursts):
+            yield port.request(rows * row_bytes, AccessPattern.SEQUENTIAL)
+            yield stream.put(Burst(payload=None, count=rows))
+        yield stream.put(END_OF_STREAM)
+
+    sim.spawn(reader(sim))
+    sim.run()
+    memory_floor = port.model.stream_time_ps(rows * row_bytes) * n_bursts
+    assert sink.done_at_ps >= memory_floor
+    assert sink.items == n_bursts * rows

@@ -1,0 +1,79 @@
+"""Tests for the smart-NIC vs software KV servers."""
+
+import numpy as np
+import pytest
+
+from repro.kvstore.hashtable import HashTable
+from repro.kvstore.server import SmartNicKvServer, SoftwareKvServer
+
+
+def _ops(n=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    ops = []
+    for i in range(n):
+        key = int(rng.integers(0, 500))
+        if i % 3 == 0:
+            ops.append(("put", key, int(rng.integers(0, 1000))))
+        else:
+            ops.append(("get", key, 0))
+    return ops
+
+
+def test_both_servers_compute_identical_results():
+    ops = _ops()
+    nic = SmartNicKvServer(HashTable(1024, 8))
+    sw = SoftwareKvServer(HashTable(1024, 8))
+    assert nic.serve(ops).values == sw.serve(ops).values
+
+
+def test_smartnic_throughput_and_latency_beat_software():
+    """The KV-Direct claim: NIC-side serving is ~10x a software server
+    in throughput and several-fold in latency."""
+    ops = _ops(5000)
+    nic_out = SmartNicKvServer(HashTable(4096, 8)).serve(ops)
+    sw_out = SoftwareKvServer(HashTable(4096, 8)).serve(ops)
+    assert nic_out.ops_per_sec > 5 * sw_out.ops_per_sec
+    assert nic_out.op_latency_s < sw_out.op_latency_s
+
+
+def test_smartnic_latency_microsecond_scale():
+    out = SmartNicKvServer(HashTable(1024, 8)).serve(_ops(100))
+    assert 1e-6 < out.op_latency_s < 20e-6
+
+
+def test_more_memory_channels_help_memory_bound_batches():
+    ops = _ops(20_000, seed=2)
+    narrow = SmartNicKvServer(HashTable(1 << 15, 8), n_memory_channels=1)
+    wide = SmartNicKvServer(HashTable(1 << 15, 8), n_memory_channels=8)
+    t_narrow = narrow.serve(ops).batch_time_s
+    t_wide = wide.serve(ops).batch_time_s
+    assert t_wide <= t_narrow
+
+
+def test_empty_batch():
+    out = SmartNicKvServer(HashTable(64, 4)).serve([])
+    assert out.values == []
+    assert out.batch_time_s == 0.0
+    out_sw = SoftwareKvServer(HashTable(64, 4)).serve([])
+    assert out_sw.ops_per_sec == 0.0
+
+
+def test_delete_through_server():
+    nic = SmartNicKvServer(HashTable(64, 4))
+    out = nic.serve([("put", 1, 10), ("delete", 1, 0), ("get", 1, 0)])
+    assert out.values == [10, 1, None]
+
+
+def test_unknown_op_rejected():
+    nic = SmartNicKvServer(HashTable(64, 4))
+    with pytest.raises(ValueError):
+        nic.serve([("scan", 0, 0)])
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SmartNicKvServer(HashTable(64, 4), n_memory_channels=0)
+    with pytest.raises(ValueError):
+        SmartNicKvServer(HashTable(64, 4), value_bytes=0)
+    with pytest.raises(ValueError):
+        SoftwareKvServer(HashTable(64, 4), value_bytes=0)

@@ -1,0 +1,89 @@
+"""Tests for the compaction offload study."""
+
+import pytest
+
+from repro.baselines import xeon_server
+from repro.lsm.offload import (
+    CompactionExecutor,
+    cpu_compaction_bandwidth,
+    fpga_compaction_bandwidth,
+    run_offload_study,
+)
+
+
+def _cpu_executor(cores=8):
+    cpu = xeon_server()
+    return CompactionExecutor(
+        name=f"cpu-{cores}t",
+        bandwidth_bytes_per_sec=cpu_compaction_bandwidth(cpu, cores),
+        foreground_cores_lost=cores,
+    )
+
+
+def _fpga_executor(trees=2):
+    return CompactionExecutor(
+        name=f"fpga-{trees}tree",
+        bandwidth_bytes_per_sec=fpga_compaction_bandwidth(trees),
+        foreground_cores_lost=0,
+    )
+
+
+def test_bandwidth_models():
+    cpu = xeon_server()
+    assert cpu_compaction_bandwidth(cpu, 0) == 0.0
+    assert cpu_compaction_bandwidth(cpu, 8) > cpu_compaction_bandwidth(cpu, 2)
+    assert fpga_compaction_bandwidth(4) == 2 * fpga_compaction_bandwidth(2)
+    with pytest.raises(ValueError):
+        cpu_compaction_bandwidth(cpu, -1)
+    with pytest.raises(ValueError):
+        fpga_compaction_bandwidth(0)
+
+
+def test_executor_validation():
+    with pytest.raises(ValueError):
+        CompactionExecutor("bad", 0.0, 0)
+    with pytest.raises(ValueError):
+        CompactionExecutor("bad", 1.0, -1)
+
+
+def test_offload_beats_cpu_compaction():
+    """The X-Engine/FAST'20 claim: offloaded compaction sustains higher
+    write throughput than any CPU core split."""
+    n = 50_000_000
+    wa = 4.0
+    fpga_result = run_offload_study(n, wa, _fpga_executor(trees=2))
+    for cores in (4, 8, 16):
+        cpu_result = run_offload_study(n, wa, _cpu_executor(cores=cores))
+        assert fpga_result.sustained_writes_per_sec \
+            > cpu_result.sustained_writes_per_sec, f"cores={cores}"
+
+
+def test_stalls_appear_under_high_write_amplification():
+    few_cores = _cpu_executor(cores=2)
+    calm = run_offload_study(20_000_000, 2.0, few_cores)
+    stormy = run_offload_study(20_000_000, 30.0, few_cores)
+    assert stormy.stall_time_s > calm.stall_time_s
+    assert stormy.sustained_writes_per_sec < calm.sustained_writes_per_sec
+
+
+def test_more_compaction_cores_trade_foreground_for_drain():
+    """Dedicating more cores drains faster (fewer stalls) but slows
+    ingest: the no-free-lunch the FPGA escapes."""
+    n, wa = 30_000_000, 4.0
+    light = run_offload_study(n, wa, _cpu_executor(cores=4))
+    heavy = run_offload_study(n, wa, _cpu_executor(cores=16))
+    assert heavy.stall_fraction <= light.stall_fraction
+    fpga = run_offload_study(n, wa, _fpga_executor())
+    assert fpga.sustained_writes_per_sec > max(
+        light.sustained_writes_per_sec, heavy.sustained_writes_per_sec
+    )
+
+
+def test_zero_writes_and_validation():
+    result = run_offload_study(0, 4.0, _fpga_executor())
+    assert result.total_time_s == 0.0
+    assert result.stall_fraction == 0.0
+    with pytest.raises(ValueError):
+        run_offload_study(-1, 4.0, _fpga_executor())
+    with pytest.raises(ValueError):
+        run_offload_study(10, -1.0, _fpga_executor())

@@ -1,0 +1,126 @@
+"""Tests for the MicroRec accelerator and its CPU baseline."""
+
+import numpy as np
+import pytest
+
+from repro.microrec.accelerator import MicroRecAccelerator, MicroRecConfig
+from repro.microrec.cartesian import plan_cartesian
+from repro.microrec.cpu_baseline import CpuRecommender
+from repro.microrec.embedding import EmbeddingTables
+from repro.workloads.traces import (
+    RecModelSpec,
+    lookup_trace,
+    production_like_model,
+)
+
+_SPEC = production_like_model(n_tables=20, max_rows=200_000, seed=7)
+_TABLES = EmbeddingTables(_SPEC, seed=7)
+_TRACE = lookup_trace(_SPEC, batch_size=16, seed=8)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MicroRecConfig(sram_budget_bytes=-1)
+    with pytest.raises(ValueError):
+        MicroRecConfig(n_hbm_channels=0)
+    with pytest.raises(ValueError):
+        MicroRecConfig(dnn_dsp_macs=0)
+    with pytest.raises(ValueError):
+        MicroRecConfig(sram_access_cycles=0)
+
+
+def test_placement_small_tables_go_to_sram():
+    accel = MicroRecAccelerator(_TABLES, seed=1)
+    sizes = accel.plan.combined_table_bytes()
+    if accel.placement.sram_tables and accel.placement.hbm_tables:
+        biggest_sram = max(sizes[i] for i in accel.placement.sram_tables)
+        smallest_hbm = min(sizes[i] for i in accel.placement.hbm_tables)
+        assert biggest_sram <= smallest_hbm
+    assert accel.placement.sram_bytes <= accel.config.sram_budget_bytes
+
+
+def test_zero_sram_budget_puts_everything_in_hbm():
+    config = MicroRecConfig(sram_budget_bytes=0)
+    accel = MicroRecAccelerator(_TABLES, config=config, seed=1)
+    assert accel.placement.sram_tables == ()
+    assert len(accel.placement.hbm_tables) == accel.plan.n_lookups
+
+
+def test_fpga_and_cpu_logits_identical():
+    accel = MicroRecAccelerator(_TABLES, seed=3)
+    cpu = CpuRecommender(_TABLES, seed=3)
+    a = accel.infer(_TRACE)
+    c = cpu.infer(_TRACE)
+    assert np.allclose(a.logits, c.logits, rtol=1e-5, atol=1e-5)
+
+
+def test_cartesian_plan_preserves_logits():
+    plan = plan_cartesian(_SPEC, byte_budget=4 * _SPEC.total_embedding_bytes)
+    assert plan.lookups_saved >= 1
+    plain = MicroRecAccelerator(_TABLES, seed=3)
+    combined = MicroRecAccelerator(_TABLES, plan=plan, seed=3)
+    assert np.allclose(
+        plain.infer(_TRACE).logits, combined.infer(_TRACE).logits,
+        rtol=1e-5, atol=1e-5,
+    )
+
+
+def test_cartesian_reduces_hbm_lookups_and_lookup_time():
+    config = MicroRecConfig(sram_budget_bytes=0)  # isolate the HBM effect
+    plain = MicroRecAccelerator(_TABLES, config=config, seed=1)
+    plan = plan_cartesian(_SPEC, byte_budget=4 * _SPEC.total_embedding_bytes)
+    combined = MicroRecAccelerator(_TABLES, plan=plan, config=config, seed=1)
+    assert combined.lookups_per_inference < plain.lookups_per_inference
+    assert combined.hbm_lookups_per_inference <= plain.hbm_lookups_per_inference
+
+
+def test_fpga_latency_order_of_magnitude_below_cpu():
+    """MicroRec's headline claim."""
+    accel = MicroRecAccelerator(_TABLES, seed=2)
+    cpu = CpuRecommender(_TABLES, seed=2)
+    a = accel.infer(_TRACE[:1])
+    c = cpu.infer(_TRACE[:1])
+    assert a.latency_s < c.latency_s / 5
+
+
+def test_more_hbm_channels_never_slower():
+    config8 = MicroRecConfig(sram_budget_bytes=0, n_hbm_channels=8)
+    config32 = MicroRecConfig(sram_budget_bytes=0, n_hbm_channels=32)
+    narrow = MicroRecAccelerator(_TABLES, config=config8, seed=1)
+    wide = MicroRecAccelerator(_TABLES, config=config32, seed=1)
+    assert wide.lookup_time_s(32) <= narrow.lookup_time_s(32)
+
+
+def test_lookup_time_grows_with_batch():
+    accel = MicroRecAccelerator(_TABLES, seed=1)
+    assert accel.lookup_time_s(64) > accel.lookup_time_s(1)
+    with pytest.raises(ValueError):
+        accel.lookup_time_s(0)
+
+
+def test_infer_outcome_consistency():
+    accel = MicroRecAccelerator(_TABLES, seed=1)
+    out = accel.infer(_TRACE)
+    assert out.logits.shape == (16,)
+    assert out.batch_time_s >= max(out.lookup_s, out.dnn_s)
+    assert out.latency_s > 0
+    assert out.qps == pytest.approx(16 / out.batch_time_s)
+    with pytest.raises(ValueError):
+        accel.infer(_TRACE[:0])
+
+
+def test_plan_for_wrong_spec_rejected():
+    other = RecModelSpec(table_rows=(5, 5), embedding_dim=4)
+    plan = plan_cartesian(other, 0)
+    with pytest.raises(ValueError):
+        MicroRecAccelerator(_TABLES, plan=plan)
+
+
+def test_cpu_outcome_consistency():
+    cpu = CpuRecommender(_TABLES, seed=1)
+    out = cpu.infer(_TRACE)
+    assert out.logits.shape == (16,)
+    assert out.batch_time_s == pytest.approx(out.lookup_s + out.dnn_s)
+    assert out.latency_s > 0
+    with pytest.raises(ValueError):
+        cpu.infer(_TRACE[:0])

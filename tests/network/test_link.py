@@ -1,0 +1,65 @@
+"""Unit tests for the physical link model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.link import LinkModel, ethernet_10g, ethernet_100g
+
+
+def test_bandwidth_conversion():
+    link = ethernet_100g()
+    assert link.bandwidth_bytes_per_sec == pytest.approx(12.5e9)
+
+
+def test_serialization_scales_with_size():
+    link = ethernet_100g()
+    # 12.5 GB at 12.5 GB/s = 1 s, ignoring framing (<2% for 4 KiB MTU).
+    t = link.serialization_ps(12_500_000_000)
+    assert t == pytest.approx(1e12, rel=0.03)
+
+
+def test_framing_overhead_dominates_tiny_messages():
+    link = ethernet_100g()
+    # A 1-byte message still ships a whole frame header.
+    assert link.serialization_ps(1) > link.serialization_ps(0) / 2
+    assert link.frames_for(0) == 1
+    assert link.frames_for(1) == 1
+    assert link.frames_for(4096) == 1
+    assert link.frames_for(4097) == 2
+
+
+def test_transfer_includes_propagation():
+    link = ethernet_100g(propagation_ps=1_000_000)
+    assert link.transfer_ps(0) >= 1_000_000
+
+
+def test_goodput_approaches_line_rate_for_large_messages():
+    link = ethernet_100g()
+    small = link.goodput_bytes_per_sec(64)
+    large = link.goodput_bytes_per_sec(16 * 1024 * 1024)
+    assert small < large
+    assert large == pytest.approx(link.bandwidth_bytes_per_sec, rel=0.05)
+    assert link.goodput_bytes_per_sec(0) == 0.0
+
+
+def test_100g_is_10x_10g():
+    big = ethernet_100g().serialization_ps(1_000_000)
+    small = ethernet_10g().serialization_ps(1_000_000)
+    assert small == pytest.approx(10 * big, rel=0.01)
+
+
+def test_invalid_link_parameters():
+    with pytest.raises(ValueError):
+        LinkModel("bad", bandwidth_bits_per_sec=0)
+    with pytest.raises(ValueError):
+        LinkModel("bad", bandwidth_bits_per_sec=1e9, mtu_bytes=0)
+    with pytest.raises(ValueError):
+        LinkModel("bad", bandwidth_bits_per_sec=1e9, propagation_ps=-1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(nbytes=st.integers(min_value=0, max_value=1 << 28))
+def test_property_transfer_time_monotone(nbytes):
+    link = ethernet_100g()
+    assert link.transfer_ps(nbytes) <= link.transfer_ps(nbytes + 4096)

@@ -1,0 +1,83 @@
+"""Unit tests for BiS-KM any-precision k-means."""
+
+import numpy as np
+import pytest
+
+from repro.operators.anyprec_kmeans import (
+    anyprec_kmeans,
+    quantize,
+    scan_speedup,
+)
+
+
+def _blobs(seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.random((4, 8)).astype(np.float32) * 10
+    return np.concatenate(
+        [c + rng.normal(0, 0.1, (100, 8)).astype(np.float32)
+         for c in centers]
+    )
+
+
+def test_quantize_reduces_distinct_levels():
+    points = _blobs()
+    q2 = quantize(points, 2)
+    q8 = quantize(points, 8)
+    assert len(np.unique(q2[:, 0])) <= 4
+    assert len(np.unique(q8[:, 0])) > len(np.unique(q2[:, 0]))
+
+
+def test_quantize_full_precision_is_near_identity():
+    points = _blobs()
+    q = quantize(points, 32)
+    assert np.allclose(q, points, atol=1e-4)
+
+
+def test_quantize_constant_column_safe():
+    points = np.ones((10, 3), dtype=np.float32)
+    q = quantize(points, 4)
+    assert np.allclose(q, points)
+
+
+def test_quantize_validation():
+    with pytest.raises(ValueError):
+        quantize(_blobs(), 0)
+    with pytest.raises(ValueError):
+        quantize(_blobs(), 33)
+    with pytest.raises(ValueError):
+        scan_speedup(0)
+
+
+def test_scan_speedup_inverse_in_bits():
+    assert scan_speedup(1) == 32.0
+    assert scan_speedup(8) == 4.0
+    assert scan_speedup(32) == 1.0
+
+
+def test_low_precision_preserves_clustering_on_separated_blobs():
+    """The BiS-KM claim: a few bits suffice for well-separated data."""
+    points = _blobs(seed=1)
+    full = anyprec_kmeans(points, k=4, bits=32, seed=2)
+    low = anyprec_kmeans(points, k=4, bits=6, seed=2)
+    # Quality within 20% of full precision, at >5x less traffic.
+    assert low.full_precision_inertia < 1.2 * max(
+        full.full_precision_inertia, 1e-9
+    ) + 10.0
+    assert low.traffic_speedup > 5
+
+
+def test_quality_improves_with_bits():
+    rng = np.random.default_rng(3)
+    points = rng.random((400, 6), dtype=np.float32)  # unclustered: harder
+    inertias = [
+        anyprec_kmeans(points, k=8, bits=b, seed=4).full_precision_inertia
+        for b in (1, 4, 16)
+    ]
+    assert inertias[2] <= inertias[0]
+
+
+def test_result_carries_kmeans_diagnostics():
+    out = anyprec_kmeans(_blobs(), k=4, bits=8, seed=5)
+    assert out.result.centroids.shape == (4, 8)
+    assert out.bits == 8
+    assert out.full_precision_inertia >= 0

@@ -1,0 +1,117 @@
+"""Unit tests for Count-Min and AGMS sketches."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import xeon_server
+from repro.operators.sketches import (
+    AgmsSketch,
+    CountMinSketch,
+    cpu_update_time_s,
+    sketch_kernel_spec,
+)
+from repro.workloads import ZipfSampler
+
+
+def _zipf_stream(n=100_000, universe=10_000, s=1.1, seed=3):
+    rng = np.random.default_rng(seed)
+    return ZipfSampler(universe, s, rng).sample(n)
+
+
+def test_cm_never_underestimates():
+    stream = _zipf_stream()
+    cm = CountMinSketch(width=4096, depth=4)
+    cm.add(stream)
+    keys = np.arange(100)
+    true = np.array([(stream == k).sum() for k in keys])
+    est = cm.query(keys)
+    assert (est >= true).all()
+
+
+def test_cm_error_within_bound_for_heavy_hitters():
+    stream = _zipf_stream()
+    cm = CountMinSketch(width=4096, depth=4)
+    cm.add(stream)
+    hot = np.arange(10)
+    true = np.array([(stream == k).sum() for k in hot])
+    est = cm.query(hot)
+    assert ((est - true) <= cm.error_bound()).all()
+
+
+def test_cm_from_error_dimensions():
+    cm = CountMinSketch.from_error(eps=0.001, delta=0.01)
+    assert cm.width >= 2718
+    assert cm.depth >= 5
+    with pytest.raises(ValueError):
+        CountMinSketch.from_error(eps=0.0, delta=0.5)
+
+
+def test_cm_merge_is_additive():
+    a_vals, b_vals = _zipf_stream(seed=4), _zipf_stream(seed=5)
+    a, b, both = (CountMinSketch(1024, 3) for _ in range(3))
+    a.add(a_vals)
+    b.add(b_vals)
+    both.add(a_vals)
+    both.add(b_vals)
+    merged = a.merge(b)
+    assert np.array_equal(merged.counters, both.counters)
+    assert merged.total == both.total
+    with pytest.raises(ValueError):
+        a.merge(CountMinSketch(512, 3))
+
+
+def test_cm_validation_and_empty():
+    with pytest.raises(ValueError):
+        CountMinSketch(width=0)
+    cm = CountMinSketch(16, 2)
+    cm.add(np.array([], dtype=np.int64))
+    assert cm.total == 0
+
+
+def test_agms_estimates_f2():
+    stream = _zipf_stream(n=50_000, universe=1_000, s=1.0, seed=6)
+    counts = np.bincount(stream, minlength=1_000)
+    true_f2 = float((counts.astype(np.float64) ** 2).sum())
+    agms = AgmsSketch(n_estimators=256)
+    agms.add(stream)
+    est = agms.estimate_f2()
+    assert abs(est - true_f2) / true_f2 < 0.5
+
+
+def test_agms_merge_linear():
+    a_vals, b_vals = _zipf_stream(seed=7), _zipf_stream(seed=8)
+    a, b, both = (AgmsSketch(64) for _ in range(3))
+    a.add(a_vals)
+    b.add(b_vals)
+    both.add(a_vals)
+    both.add(b_vals)
+    assert np.array_equal(a.merge(b).sums, both.sums)
+    with pytest.raises(ValueError):
+        a.merge(AgmsSketch(32))
+
+
+def test_agms_validation():
+    with pytest.raises(ValueError):
+        AgmsSketch(0)
+
+
+def test_kernel_spec_line_rate_and_resources():
+    narrow = sketch_kernel_spec(counters_per_item=1,
+                                counter_bytes_total=8 * 1024)
+    wide = sketch_kernel_spec(counters_per_item=8,
+                              counter_bytes_total=64 * 1024)
+    assert narrow.ii == 1 and wide.ii == 1
+    assert wide.resources.lut > narrow.resources.lut
+    with pytest.raises(ValueError):
+        sketch_kernel_spec(0, 1024)
+
+
+def test_fpga_beats_cpu_on_sketch_maintenance():
+    cpu = xeon_server()
+    spec = sketch_kernel_spec(counters_per_item=4,
+                              counter_bytes_total=64 * 1024)
+    n = 10_000_000
+    assert spec.latency_seconds(n) < cpu_update_time_s(
+        cpu, n, counters_per_item=4, parallel=False
+    )
+    assert cpu_update_time_s(cpu, 0, 4) == 0.0

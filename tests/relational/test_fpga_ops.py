@@ -1,0 +1,189 @@
+"""Tests for relational operators as FPGA stream kernels.
+
+The key invariant: the offload pipeline running in the dataflow
+simulator computes exactly what the CPU engine computes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernel import BurstKernel, Sink, Source
+from repro.core.sim import Simulator
+from repro.core.stream import Stream
+from repro.relational.engine import execute
+from repro.relational.expressions import col
+from repro.relational.fpga_ops import (
+    make_operator_kernel,
+    make_table_bursts,
+    plan_kernels,
+    rows_per_cycle,
+)
+from repro.relational.operators import (
+    AggFunc,
+    AggSpec,
+    Aggregate,
+    Filter,
+    GroupByAggregate,
+    Project,
+    QueryPlan,
+    Transform,
+)
+from repro.relational.table import Table
+from repro.workloads.tables import grouped_table, uniform_table
+
+
+def _run_plan_on_fabric(plan, table, burst_rows=64):
+    """Run a plan through BurstKernels; return (result_table, done_ps)."""
+    sim = Simulator()
+    kernels = plan_kernels(plan, table.schema.row_nbytes)
+    streams = [Stream(sim, depth=4, name=f"s{i}")
+               for i in range(len(kernels) + 1)]
+    Source(sim, streams[0], make_table_bursts(table, burst_rows))
+    for ok, inp, out in zip(kernels, streams[:-1], streams[1:]):
+        BurstKernel(sim, ok.spec, ok.fn, inp, out)
+    sink = Sink(sim, streams[-1])
+    sim.run()
+    tables = sink.payloads
+    if not tables:
+        return None, sink.done_at_ps
+    merged = Table(
+        {
+            name: np.concatenate([t.column(name) for t in tables])
+            for name in tables[0].column_names
+        }
+    )
+    return merged, sink.done_at_ps
+
+
+def test_rows_per_cycle():
+    assert rows_per_cycle(16) == 4
+    assert rows_per_cycle(64) == 1
+    assert rows_per_cycle(200) == 1
+    with pytest.raises(ValueError):
+        rows_per_cycle(0)
+
+
+def test_filter_kernel_matches_cpu_engine():
+    table = Table(uniform_table(1000, seed=1))
+    plan = QueryPlan((Filter(col("key") < 300_000),))
+    fpga, _ = _run_plan_on_fabric(plan, table)
+    cpu = execute(plan, table)
+    assert fpga.equals(cpu)
+
+
+def test_filter_project_pipeline_matches():
+    table = Table(uniform_table(2000, seed=2))
+    plan = QueryPlan((
+        Filter((col("key") < 700_000) & (col("val0") > 0.25)),
+        Project(("key", "val1")),
+    ))
+    fpga, _ = _run_plan_on_fabric(plan, table)
+    assert fpga.equals(execute(plan, table))
+
+
+def test_aggregate_kernel_emits_once_with_correct_totals():
+    table = Table(uniform_table(512, seed=3))
+    plan = QueryPlan((
+        Aggregate((
+            AggSpec(AggFunc.SUM, "val0"),
+            AggSpec(AggFunc.COUNT, "val0", alias="n"),
+        )),
+    ))
+    fpga, _ = _run_plan_on_fabric(plan, table, burst_rows=50)
+    cpu = execute(plan, table)
+    assert fpga.n_rows == 1
+    assert fpga["sum_val0"][0] == pytest.approx(cpu["sum_val0"][0])
+    assert fpga["n"][0] == cpu["n"][0]
+
+
+def test_groupby_kernel_matches_cpu_engine():
+    table = Table(grouped_table(3000, n_groups=16, seed=4))
+    plan = QueryPlan((
+        Filter(col("value") > 0.2),
+        GroupByAggregate("group", (
+            AggSpec(AggFunc.SUM, "value"),
+            AggSpec(AggFunc.MEAN, "value"),
+        )),
+    ))
+    fpga, _ = _run_plan_on_fabric(plan, table, burst_rows=128)
+    cpu = execute(plan, table)
+    assert fpga.column_names == cpu.column_names
+    assert np.array_equal(fpga["group"], cpu["group"])
+    assert np.allclose(fpga["sum_value"], cpu["sum_value"])
+
+
+def test_transform_kernel_passes_data_through():
+    table = Table(uniform_table(100, seed=5))
+    plan = QueryPlan((Transform("decrypt", ops_per_byte=4.0),))
+    fpga, _ = _run_plan_on_fabric(plan, table)
+    assert fpga.equals(table)
+
+
+def test_wider_rows_lower_unroll():
+    narrow = make_operator_kernel(Project(("a",)), row_nbytes=8)
+    wide = make_operator_kernel(Project(("a",)), row_nbytes=64)
+    assert narrow.spec.unroll == 8
+    assert wide.spec.unroll == 1
+    assert (
+        narrow.spec.throughput_items_per_sec()
+        > wide.spec.throughput_items_per_sec()
+    )
+
+
+def test_filter_depth_grows_with_predicate_complexity():
+    simple = make_operator_kernel(Filter(col("a") < 1), row_nbytes=16)
+    complex_ = make_operator_kernel(
+        Filter((col("a") < 1) & (col("b") > 2) | (col("c") == 3)),
+        row_nbytes=16,
+    )
+    assert complex_.spec.depth > simple.spec.depth
+
+
+def test_make_table_bursts_covers_all_rows_once():
+    table = Table(uniform_table(250, seed=6))
+    bursts = make_table_bursts(table, 64)
+    assert sum(b.count for b in bursts) == 250
+    assert [b.meta["last"] for b in bursts] == [False, False, False, True]
+    with pytest.raises(ValueError):
+        make_table_bursts(table, 0)
+
+
+def test_empty_table_still_yields_last_burst():
+    table = Table(uniform_table(0, seed=7))
+    bursts = make_table_bursts(table, 64)
+    assert len(bursts) == 1
+    assert bursts[0].meta["last"]
+    assert bursts[0].count == 0
+
+
+def test_estimated_gain_defaults():
+    filt = make_operator_kernel(
+        Filter(col("a") < 1), row_nbytes=8, estimated_selectivity=0.2
+    )
+    agg = make_operator_kernel(
+        Aggregate((AggSpec(AggFunc.SUM, "a"),)), row_nbytes=8
+    )
+    assert filt.estimated_gain == 0.2
+    assert agg.estimated_gain == 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_rows=st.integers(min_value=1, max_value=400),
+    burst_rows=st.integers(min_value=1, max_value=100),
+    threshold=st.integers(min_value=0, max_value=1_000_000),
+)
+def test_property_fpga_pipeline_equals_cpu_engine(n_rows, burst_rows, threshold):
+    table = Table(uniform_table(n_rows, seed=8))
+    plan = QueryPlan((
+        Filter(col("key") < threshold),
+        Project(("key",)),
+    ))
+    fpga, _ = _run_plan_on_fabric(plan, table, burst_rows=burst_rows)
+    cpu = execute(plan, table)
+    if cpu.n_rows == 0:
+        assert fpga is None or fpga.n_rows == 0
+    else:
+        assert fpga.equals(cpu)

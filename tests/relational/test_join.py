@@ -1,0 +1,170 @@
+"""Unit and property tests for hash joins."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import xeon_server
+from repro.relational.join import (
+    FpgaJoinModel,
+    cpu_join_time_s,
+    hash_join,
+)
+from repro.relational.table import Table
+
+
+def _tables():
+    probe = Table({
+        "k": np.array([1, 2, 3, 2, 9], dtype=np.int64),
+        "p": np.array([10.0, 20.0, 30.0, 21.0, 90.0]),
+    })
+    build = Table({
+        "k": np.array([2, 3, 4], dtype=np.int64),
+        "b": np.array([200, 300, 400], dtype=np.int64),
+    })
+    return probe, build
+
+
+def test_inner_join_basic():
+    probe, build = _tables()
+    out = hash_join(probe, build, "k", "k")
+    # Keys 2 (twice), 3 match; 1 and 9 drop.
+    assert out.n_rows == 3
+    assert np.array_equal(out["k"], [2, 3, 2])
+    assert np.array_equal(out["b"], [200, 300, 200])
+    assert np.array_equal(out["p"], [20.0, 30.0, 21.0])
+
+
+def test_duplicate_build_keys_expand():
+    probe = Table({"k": np.array([5], dtype=np.int64)})
+    build = Table({
+        "k": np.array([5, 5, 6], dtype=np.int64),
+        "b": np.array([1, 2, 3], dtype=np.int64),
+    })
+    out = hash_join(probe, build, "k", "k")
+    assert out.n_rows == 2
+    assert sorted(out["b"].tolist()) == [1, 2]
+
+
+def test_column_name_collision_gets_suffix():
+    probe = Table({
+        "k": np.array([1], dtype=np.int64),
+        "x": np.array([10], dtype=np.int64),
+    })
+    build = Table({
+        "k": np.array([1], dtype=np.int64),
+        "x": np.array([99], dtype=np.int64),
+    })
+    out = hash_join(probe, build, "k", "k")
+    assert out["x"][0] == 10
+    assert out["x_r"][0] == 99
+
+
+def test_empty_result_join():
+    probe = Table({"k": np.array([1, 2], dtype=np.int64)})
+    build = Table({"k": np.array([7], dtype=np.int64),
+                   "b": np.array([0], dtype=np.int64)})
+    out = hash_join(probe, build, "k", "k")
+    assert out.n_rows == 0
+    assert "b" in out.column_names
+
+
+def test_non_integer_keys_rejected():
+    probe = Table({"k": np.array([1.5, 2.5])})
+    build = Table({"k": np.array([1], dtype=np.int64)})
+    with pytest.raises(TypeError):
+        hash_join(probe, build, "k", "k")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    probe_keys=st.lists(st.integers(min_value=0, max_value=15),
+                        min_size=1, max_size=40),
+    build_keys=st.lists(st.integers(min_value=0, max_value=15),
+                        min_size=1, max_size=40),
+)
+def test_property_join_matches_nested_loop(probe_keys, build_keys):
+    probe = Table({
+        "k": np.array(probe_keys, dtype=np.int64),
+        "pi": np.arange(len(probe_keys), dtype=np.int64),
+    })
+    build = Table({
+        "k": np.array(build_keys, dtype=np.int64),
+        "bi": np.arange(len(build_keys), dtype=np.int64),
+    })
+    out = hash_join(probe, build, "k", "k")
+    expected = sorted(
+        (pk, pi, bi)
+        for pi, pk in enumerate(probe_keys)
+        for bi, bk in enumerate(build_keys)
+        if pk == bk
+    )
+    got = sorted(zip(out["k"].tolist(), out["pi"].tolist(),
+                     out["bi"].tolist()))
+    assert got == expected
+
+
+def test_cpu_join_cost_scales():
+    cpu = xeon_server()
+    small = cpu_join_time_s(cpu, 1_000_000, 1_000_000, 16, 16)
+    big = cpu_join_time_s(cpu, 10_000_000, 10_000_000, 16, 16)
+    assert big > 5 * small
+    assert cpu_join_time_s(cpu, 0, 0, 16, 16) == 0.0
+    with pytest.raises(ValueError):
+        cpu_join_time_s(cpu, -1, 0, 16, 16)
+
+
+def test_fpga_join_placement_decision():
+    model = FpgaJoinModel()
+    assert model.placement_of(1_000, 16) == "bram"
+    assert model.placement_of(100_000_000, 16) == "hbm"
+
+
+def test_fpga_join_bram_much_faster_than_hbm():
+    model = FpgaJoinModel()
+    n_probe = 10_000_000
+    small = model.join_time(n_probe, 100_000, 16, 16)
+    large = model.join_time(n_probe, 50_000_000, 16, 16)
+    assert small.placement == "bram"
+    assert large.placement == "hbm"
+    assert small.total_s < large.total_s
+    # BRAM probes run at clock rate across the parallel pipelines.
+    expected = n_probe / (300e6 * model.n_probe_pipelines)
+    assert small.probe_s == pytest.approx(expected, rel=0.01)
+
+
+def test_cidr_verdict_standalone_join_is_contested():
+    """The cited paper's point: for big in-memory joins, a good CPU is
+    competitive with the FPGA (both memory-bound)."""
+    cpu = xeon_server()
+    model = FpgaJoinModel()
+    n = 50_000_000
+    fpga = model.join_time(n, n, 16, 16).total_s
+    host = cpu_join_time_s(cpu, n, n, 16, 16)
+    ratio = host / fpga
+    assert 0.2 < ratio < 5, f"neither side dominates, got ratio {ratio}"
+
+
+def test_streaming_probe_rate_regimes():
+    model = FpgaJoinModel(n_hbm_channels=4)
+    line_rate = model.streaming_probe_rate(10_000, 16)
+    hbm_rate = model.streaming_probe_rate(100_000_000, 16)
+    assert line_rate == pytest.approx(300e6, rel=0.01)
+    assert hbm_rate < line_rate
+    # With all 32 channels the HBM probe rate reaches the datapath cap.
+    wide = FpgaJoinModel(n_hbm_channels=32)
+    assert wide.streaming_probe_rate(100_000_000, 16) == pytest.approx(
+        line_rate, rel=0.01
+    )
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        FpgaJoinModel(bram_fraction=0)
+    with pytest.raises(ValueError):
+        FpgaJoinModel(n_hbm_channels=0)
+    with pytest.raises(ValueError):
+        FpgaJoinModel(hash_table_overhead=0.5)
+    with pytest.raises(ValueError):
+        FpgaJoinModel().join_time(-1, 0, 16, 16)

@@ -1,0 +1,148 @@
+"""Unit tests for the mini SQL front end."""
+
+import numpy as np
+import pytest
+
+from repro.relational.engine import execute
+from repro.relational.operators import (
+    Aggregate,
+    Filter,
+    GroupByAggregate,
+    Project,
+)
+from repro.relational.sql import SqlError, parse_query
+from repro.relational.table import Table
+from repro.workloads.tables import grouped_table, uniform_table
+
+
+def _table(n=1000):
+    return Table(uniform_table(n, n_payload_cols=2, seed=1))
+
+
+def test_select_star_is_empty_plan():
+    plan = parse_query("SELECT *")
+    assert plan.operators == ()
+    t = _table(10)
+    assert execute(plan, t).equals(t)
+
+
+def test_projection():
+    plan = parse_query("select key, val0")
+    assert plan.operators == (Project(("key", "val0")),)
+
+
+def test_filter_projection_matches_manual_plan():
+    t = _table()
+    plan = parse_query(
+        "SELECT key, val0 WHERE key < 500000 AND val0 > 0.5"
+    )
+    assert isinstance(plan.operators[0], Filter)
+    result = execute(plan, t)
+    mask = (t["key"] < 500000) & (t["val0"] > 0.5)
+    assert np.array_equal(result["key"], t["key"][mask])
+    assert result.column_names == ("key", "val0")
+
+
+def test_aggregates_with_alias():
+    t = _table()
+    plan = parse_query(
+        "SELECT sum(val0) AS total, count(val0), mean(val1)"
+        " WHERE key >= 100"
+    )
+    agg = plan.operators[-1]
+    assert isinstance(agg, Aggregate)
+    assert agg.aggs[0].alias == "total"
+    assert agg.aggs[1].alias == "count_val0"
+    result = execute(plan, t)
+    mask = t["key"] >= 100
+    assert result["total"][0] == pytest.approx(t["val0"][mask].sum())
+    assert result["mean_val1"][0] == pytest.approx(t["val1"][mask].mean())
+
+
+def test_group_by():
+    t = Table(grouped_table(5000, n_groups=8, seed=2))
+    plan = parse_query(
+        "SELECT sum(value), count(value) AS n GROUP BY group"
+    )
+    op = plan.operators[-1]
+    assert isinstance(op, GroupByAggregate)
+    assert op.key == "group"
+    result = execute(plan, t)
+    assert result.n_rows == 8
+
+
+def test_where_after_group_by_order_free():
+    plan = parse_query(
+        "SELECT sum(value) GROUP BY group WHERE value > 0.5"
+    )
+    assert isinstance(plan.operators[0], Filter)
+    assert isinstance(plan.operators[1], GroupByAggregate)
+
+
+def test_boolean_operators_and_parentheses():
+    t = _table()
+    plan = parse_query(
+        "SELECT key WHERE (key < 100000 OR key > 900000) "
+        "AND NOT val0 > 0.5"
+    )
+    result = execute(plan, t)
+    mask = ((t["key"] < 100000) | (t["key"] > 900000)) & ~(t["val0"] > 0.5)
+    assert np.array_equal(result["key"], t["key"][mask])
+
+
+def test_comparison_spellings():
+    t = _table()
+    for query, op in (
+        ("SELECT key WHERE key = 5", "=="),
+        ("SELECT key WHERE key == 5", "=="),
+        ("SELECT key WHERE key != 5", "!="),
+        ("SELECT key WHERE key <> 5", "!="),
+    ):
+        plan = parse_query(query)
+        result = execute(plan, t)
+        assert result.n_rows >= 0  # parses and runs
+
+
+def test_column_vs_column_comparison():
+    t = _table()
+    plan = parse_query("SELECT key WHERE val0 < val1")
+    result = execute(plan, t)
+    assert result.n_rows == int((t["val0"] < t["val1"]).sum())
+
+
+def test_float_and_negative_literals():
+    t = _table()
+    plan = parse_query("SELECT key WHERE val0 > -0.5 AND val1 < 0.25")
+    result = execute(plan, t)
+    mask = (t["val0"] > -0.5) & (t["val1"] < 0.25)
+    assert result.n_rows == int(mask.sum())
+
+
+def test_errors():
+    for bad in (
+        "",                               # no SELECT
+        "SELECT",                         # empty list
+        "SELECT key WHERE",               # empty predicate
+        "SELECT key WHERE key <",         # missing operand
+        "SELECT key WHERE key ~ 5",       # unknown token
+        "SELECT key, sum(val0)",          # mixed without GROUP BY
+        "SELECT key GROUP BY key",        # GROUP BY without aggregates
+        "SELECT key WHERE key < 1 WHERE key < 2",  # duplicate WHERE
+        "SELECT key FROM t",              # unsupported clause
+    ):
+        with pytest.raises(SqlError):
+            parse_query(bad)
+
+
+def test_sql_plan_runs_on_farview():
+    """End to end: SQL text offloaded to the smart-memory node."""
+    from repro.farview import FarviewClient, FarviewServer
+
+    server = FarviewServer()
+    t = _table(20_000)
+    server.store("t", t)
+    client = FarviewClient(server)
+    plan = parse_query("SELECT sum(val0) AS s WHERE key < 250000")
+    outcome = client.query_offload(plan, "t")
+    want = t["val0"][t["key"] < 250000].sum()
+    assert outcome.result["s"][0] == pytest.approx(want)

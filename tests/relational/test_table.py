@@ -1,0 +1,95 @@
+"""Unit tests for schemas and columnar tables."""
+
+import numpy as np
+import pytest
+
+from repro.relational.schema import ColumnType, Schema
+from repro.relational.table import Table
+
+
+def _table(n=10):
+    return Table(
+        {
+            "key": np.arange(n, dtype=np.int64),
+            "val": np.linspace(0.0, 1.0, n),
+        }
+    )
+
+
+def test_column_type_widths():
+    assert ColumnType.INT64.nbytes == 8
+    assert ColumnType.FLOAT32.nbytes == 4
+    assert ColumnType.BOOL.nbytes == 1
+    assert ColumnType.from_dtype(np.dtype("float64")) is ColumnType.FLOAT64
+    with pytest.raises(TypeError):
+        ColumnType.from_dtype(np.dtype("complex128"))
+
+
+def test_schema_row_bytes_and_lookup():
+    schema = Schema.of(key=ColumnType.INT64, val=ColumnType.FLOAT64)
+    assert schema.row_nbytes == 16
+    assert schema.type_of("key") is ColumnType.INT64
+    assert "val" in schema and "ghost" not in schema
+    assert len(schema) == 2
+    with pytest.raises(KeyError):
+        schema.type_of("ghost")
+
+
+def test_schema_duplicate_names_rejected():
+    with pytest.raises(ValueError):
+        Schema((("a", ColumnType.INT64), ("a", ColumnType.INT64)))
+
+
+def test_schema_project_preserves_order():
+    schema = Schema.of(a=ColumnType.INT64, b=ColumnType.FLOAT64,
+                       c=ColumnType.INT32)
+    assert schema.project(["c", "a"]).names == ("c", "a")
+
+
+def test_table_derives_schema():
+    t = _table()
+    assert t.schema.type_of("key") is ColumnType.INT64
+    assert t.schema.type_of("val") is ColumnType.FLOAT64
+    assert t.n_rows == 10
+    assert t.nbytes == 10 * 16
+
+
+def test_table_validation():
+    with pytest.raises(ValueError):
+        Table({})
+    with pytest.raises(ValueError):
+        Table({"a": np.arange(3), "b": np.arange(4)})
+
+
+def test_project_and_getitem():
+    t = _table()
+    p = t.project(["val"])
+    assert p.column_names == ("val",)
+    assert np.array_equal(t["key"], np.arange(10))
+    with pytest.raises(KeyError):
+        t.column("ghost")
+
+
+def test_filter_by_mask():
+    t = _table()
+    f = t.filter(t["key"] < 3)
+    assert f.n_rows == 3
+    assert np.array_equal(f["key"], [0, 1, 2])
+    with pytest.raises(ValueError):
+        t.filter(np.ones(5, dtype=bool))
+    with pytest.raises(ValueError):
+        t.filter(np.ones(10, dtype=np.int64))
+
+
+def test_take_gathers_rows():
+    t = _table()
+    g = t.take(np.array([9, 0, 9]))
+    assert np.array_equal(g["key"], [9, 0, 9])
+
+
+def test_equals():
+    assert _table().equals(_table())
+    assert not _table().equals(_table(5))
+    other = Table({"key": np.arange(10, dtype=np.int64),
+                   "other": np.zeros(10)})
+    assert not _table().equals(other)

@@ -1,0 +1,57 @@
+"""Unit tests for relational workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.tables import grouped_table, orders_table, uniform_table
+
+
+def test_uniform_table_shapes():
+    t = uniform_table(1000, n_payload_cols=3)
+    assert set(t) == {"key", "val0", "val1", "val2"}
+    assert all(col.shape == (1000,) for col in t.values())
+    assert t["key"].dtype == np.int64
+
+
+def test_uniform_table_selectivity_dial():
+    t = uniform_table(100_000, key_max=1_000_000, seed=2)
+    for s in (0.01, 0.1, 0.5):
+        frac = (t["key"] < s * 1_000_000).mean()
+        assert frac == pytest.approx(s, abs=0.01)
+
+
+def test_orders_table_columns():
+    t = orders_table(5000, n_customers=100)
+    assert t["customer_id"].max() < 100
+    assert (t["amount"] >= 0).all()
+    assert (t["quantity"] >= 1).all()
+    assert len(np.unique(t["order_id"])) == 5000
+
+
+def test_grouped_table_uniform_vs_skewed():
+    uniform = grouped_table(50_000, n_groups=100, skew=0.0, seed=3)
+    skewed = grouped_table(50_000, n_groups=100, skew=1.2, seed=3)
+    cu = np.bincount(uniform["group"], minlength=100)
+    cs = np.bincount(skewed["group"], minlength=100)
+    assert cs.max() > 3 * cu.max()
+    assert skewed["group"].max() < 100
+
+
+def test_determinism():
+    a = uniform_table(100, seed=7)
+    b = uniform_table(100, seed=7)
+    assert np.array_equal(a["key"], b["key"])
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        uniform_table(-1)
+    with pytest.raises(ValueError):
+        orders_table(10, n_customers=0)
+    with pytest.raises(ValueError):
+        grouped_table(10, n_groups=0)
+
+
+def test_empty_tables_allowed():
+    t = uniform_table(0)
+    assert t["key"].shape == (0,)

@@ -1,0 +1,64 @@
+"""Unit tests for the Zipf sampler."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.zipf import ZipfSampler
+
+
+def _sampler(n=1000, s=1.0, seed=1):
+    return ZipfSampler(n, s, np.random.default_rng(seed))
+
+
+def test_samples_in_range():
+    sampler = _sampler()
+    ids = sampler.sample(10_000)
+    assert ids.min() >= 0
+    assert ids.max() < sampler.n
+    assert ids.dtype == np.int64
+
+
+def test_probabilities_sum_to_one_and_descend():
+    sampler = _sampler(s=1.2)
+    p = sampler.probabilities
+    assert p.sum() == pytest.approx(1.0)
+    assert (np.diff(p) <= 0).all()
+
+
+def test_zero_skew_is_uniform():
+    sampler = _sampler(n=10, s=0.0)
+    assert np.allclose(sampler.probabilities, 0.1)
+
+
+def test_skew_concentrates_mass():
+    mild = _sampler(s=0.5)
+    strong = _sampler(s=1.5)
+    assert strong.hot_set_fraction(10) > mild.hot_set_fraction(10)
+    assert mild.hot_set_fraction(0) == 0.0
+    assert strong.hot_set_fraction(strong.n) == pytest.approx(1.0)
+
+
+def test_empirical_frequency_matches_skew():
+    sampler = _sampler(n=100, s=1.0, seed=3)
+    ids = sampler.sample(200_000)
+    counts = np.bincount(ids, minlength=100)
+    # Hottest id should be roughly n-th root more frequent; check rank-1
+    # vs rank-10 ratio approximates 10 (Zipf s=1) within a wide margin.
+    ratio = counts[0] / max(counts[9], 1)
+    assert 5 < ratio < 20
+
+
+def test_determinism_with_same_seed():
+    a = _sampler(seed=42).sample(100)
+    b = _sampler(seed=42).sample(100)
+    assert (a == b).all()
+
+
+def test_invalid_parameters():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        ZipfSampler(0, 1.0, rng)
+    with pytest.raises(ValueError):
+        ZipfSampler(10, -0.1, rng)
+    with pytest.raises(ValueError):
+        _sampler().sample(-1)
