@@ -12,6 +12,7 @@ import pytest
 
 from repro.bench import ResultTable
 from repro.farview import FarviewServer, simulate_clients
+from repro.obs import Profiler
 from repro.relational import (
     AggFunc,
     AggSpec,
@@ -50,6 +51,24 @@ def _run_multitenant() -> ResultTable:
             )
     assert min(ratios) > 3, "offload tenants aggregate much more QPS"
     report.note("offload is DRAM-scan bound; fetch saturates the 100G wire")
+
+    # Busy/stall breakdown of the most contended point: a profiled rerun
+    # of the 16-client offload case puts the shared DRAM and egress
+    # ports on trace tracks.
+    prof = Profiler()
+    simulate_clients(server, plan, "t", 16, mode="offload",
+                     tracer=prof.tracer)
+    profile = prof.report()
+    print()
+    print(profile.render())
+    snapshot = {
+        key: value
+        for key, value in prof.tracer.registry.snapshot().items()
+        if key.startswith(("memory.", "sim.events"))
+    }
+    report.add_metrics(snapshot, title="obs metrics (16-client offload)")
+    dram = profile.component("memory:dram-agg")
+    assert dram.busy_fraction > 0.5, "offload at 16 clients is DRAM-bound"
     return report
 
 

@@ -11,11 +11,13 @@ import pytest
 
 from repro.bench import ResultTable
 from repro.microrec import CpuRecommender, MicroRecAccelerator
+from repro.obs import Profiler
 from repro.workloads import lookup_trace
 
 
 def _run_latency(rec_model, rec_tables) -> ResultTable:
-    accel = MicroRecAccelerator(rec_tables, seed=5)
+    prof = Profiler()
+    accel = MicroRecAccelerator(rec_tables, seed=5, tracer=prof.tracer)
     cpu = CpuRecommender(rec_tables, seed=5)
     report = ResultTable(
         "E7: CTR inference latency & throughput, CPU vs MicroRec",
@@ -36,6 +38,26 @@ def _run_latency(rec_model, rec_tables) -> ResultTable:
     report.note(
         f"model: {rec_model.n_tables} tables, "
         f"{rec_model.total_embedding_bytes / 1e6:.0f} MB embeddings"
+    )
+
+    # Per-channel busy/stall breakdown of the HBM feature-retrieval
+    # stage, profiler-derived from the banked-memory trace.
+    profile = prof.report()
+    print()
+    print(profile.render())
+    snapshot = prof.tracer.registry.snapshot()
+    accesses = sum(
+        v for k, v in snapshot.items()
+        if k.startswith("memory.bank_accesses")
+    )
+    conflicts = sum(
+        v for k, v in snapshot.items()
+        if k.startswith("memory.bank_conflicts")
+    )
+    assert accesses > 0, "HBM lookups were traced"
+    report.add_metrics(
+        {"hbm.lookups": accesses, "hbm.bank_conflicts": conflicts},
+        title="obs metrics",
     )
     return report
 

@@ -5,6 +5,8 @@ session-scoped so the whole ``pytest benchmarks/ --benchmark-only`` run
 builds each once.
 """
 
+import os
+
 import pytest
 
 from repro.fanns import build_ivfpq
@@ -18,6 +20,33 @@ from repro.workloads import (
 # Deployment-scale multiplier for FANNS timing (see DESIGN.md §1: the
 # functional index is small; the papers' datasets are 1e8-1e9 vectors).
 FANNS_LIST_SCALE = 2_000
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _obs_trace():
+    """Trace the whole bench session when ``REPRO_TRACE`` is set.
+
+    ``python -m repro run <ids> --trace OUT.json`` sets the variable;
+    every Simulator/BankedMemory the experiments construct then records
+    through one shared default tracer, and the collected events are
+    exported as Chrome ``trace_event`` JSON with a utilisation summary
+    printed at the end of the session.
+    """
+    path = os.environ.get("REPRO_TRACE")
+    if not path:
+        yield
+        return
+    from repro.obs import Tracer, set_default_tracer
+
+    tracer = Tracer()
+    set_default_tracer(tracer)
+    try:
+        yield
+    finally:
+        set_default_tracer(None)
+        tracer.export_chrome(path)
+        print()
+        print(tracer.utilisation_summary())
 
 
 @pytest.fixture(scope="session")

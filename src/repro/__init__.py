@@ -21,7 +21,7 @@ paper-vs-measured record of every experiment.
 """
 
 from . import accl, baselines, bench, core, fanns, farview, kvstore, lsm
-from . import memory, microrec, network, operators, relational, workloads
+from . import memory, microrec, network, obs, operators, relational, workloads
 
 __version__ = "1.0.0"
 
@@ -37,6 +37,7 @@ __all__ = [
     "memory",
     "microrec",
     "network",
+    "obs",
     "operators",
     "relational",
     "workloads",

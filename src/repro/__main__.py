@@ -7,11 +7,19 @@ Subcommands:
 * ``run <id> [...]`` — regenerate experiments by id (delegates to
   pytest over ``benchmarks/``, which must be reachable from the
   current directory — i.e. run from the repository root).
+
+``run --trace OUT.json`` turns on the observability layer for the
+delegated run: every simulator and banked memory the experiments build
+records through a shared tracer (installed by ``benchmarks/conftest.py``
+via the ``REPRO_TRACE`` environment variable), and the collected trace
+is exported as Chrome ``trace_event`` JSON — open it at
+https://ui.perfetto.dev or in ``chrome://tracing``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -57,6 +65,7 @@ _INVENTORY = [
     ("repro.core", "HLS execution model, event engine, devices"),
     ("repro.memory", "BRAM/URAM, HBM2 banking, DDR4, host-over-PCIe"),
     ("repro.network", "100 GbE links, RDMA/TCP stacks, fabrics"),
+    ("repro.obs", "metrics, event tracing, per-kernel profiling"),
     ("repro.relational", "columnar engine: CPU + FPGA stream operators"),
     ("repro.farview", "Use Case I: smart disaggregated memory"),
     ("repro.fanns", "Use Case II: vector-search accelerator + generator"),
@@ -84,7 +93,7 @@ def _cmd_experiments() -> int:
     return 0
 
 
-def _cmd_run(ids: list[str]) -> int:
+def _cmd_run(ids: list[str], trace: str | None = None) -> int:
     bench_dir = Path("benchmarks")
     if not bench_dir.is_dir():
         print("error: benchmarks/ not found — run from the repository root",
@@ -102,7 +111,16 @@ def _cmd_run(ids: list[str]) -> int:
         sys.executable, "-m", "pytest", *targets,
         "--benchmark-only", "-q", "-s",
     ]
-    return subprocess.call(command)
+    env = os.environ.copy()
+    if trace:
+        # benchmarks/conftest.py installs the default tracer when it
+        # sees this variable and exports the Chrome trace on teardown.
+        env["REPRO_TRACE"] = str(Path(trace).resolve())
+    status = subprocess.call(command, env=env)
+    if trace and status == 0:
+        print(f"trace written to {trace} "
+              "(open in chrome://tracing or https://ui.perfetto.dev)")
+    return status
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -115,13 +133,18 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("experiments", help="list the experiment index")
     run = sub.add_parser("run", help="regenerate experiments by id")
     run.add_argument("ids", nargs="+", help="experiment ids, e.g. e3 e7")
+    run.add_argument(
+        "--trace", metavar="OUT.json", default=None,
+        help="record the run through repro.obs and export a Chrome "
+             "trace_event JSON file",
+    )
     args = parser.parse_args(argv)
     if args.command == "info":
         return _cmd_info()
     if args.command == "experiments":
         return _cmd_experiments()
     if args.command == "run":
-        return _cmd_run(args.ids)
+        return _cmd_run(args.ids, trace=args.trace)
     parser.print_help()
     return 0
 

@@ -13,32 +13,39 @@ from typing import Any
 __all__ = ["ResultTable", "format_quantity", "speedup"]
 
 
+_SUFFIX_SCALES = (
+    (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K"),
+    # the [1e-2, 1e3) band prints plain (0.5 -> "0.5", not "500m")
+    (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"),
+)
+
+
 def format_quantity(value: Any, digits: int = 3) -> str:
-    """Human formatting with engineering suffixes for floats."""
+    """Human formatting with engineering suffixes for floats.
+
+    The suffix band is chosen *after* rounding to ``digits`` significant
+    figures, so values that round across a decade boundary promote to
+    the next suffix instead of falling through inconsistently: 999.9996
+    prints ``1K`` (not ``1e+03``) and 9.9999e-13 prints ``1p`` (not
+    ``1e-12``), while anything that stays below 1e-12 after rounding is
+    plain scientific (``9e-13``).
+    """
     if isinstance(value, bool):
         return str(value)
     if isinstance(value, int):
         return f"{value:,}"
-    if isinstance(value, float):
-        if value == 0:
-            return "0"
-        magnitude = abs(value)
-        for cut, suffix, scale in (
-            (1e12, "T", 1e12), (1e9, "G", 1e9), (1e6, "M", 1e6),
-            (1e3, "K", 1e3),
-        ):
-            if magnitude >= cut:
-                return f"{value / scale:.{digits}g}{suffix}"
-        if magnitude >= 1e-2:
-            return f"{value:.{digits}g}"
-        for cut, suffix, scale in (
-            (1e-3, "m", 1e-3), (1e-6, "u", 1e-6), (1e-9, "n", 1e-9),
-            (1e-12, "p", 1e-12),
-        ):
-            if magnitude >= cut:
-                return f"{value / scale:.{digits}g}{suffix}"
-        return f"{value:.{digits}g}"
-    return str(value)
+    if not isinstance(value, float):
+        return str(value)
+    if value == 0:
+        return "0"
+    rounded = float(f"{value:.{digits}g}")
+    magnitude = abs(rounded)
+    if 1e-2 <= magnitude < 1e3:
+        return f"{rounded:.{digits}g}"
+    for cut, suffix in _SUFFIX_SCALES:
+        if magnitude >= cut:
+            return f"{rounded / cut:.{digits}g}{suffix}"
+    return f"{rounded:.{digits}g}"
 
 
 def speedup(baseline: float, accelerated: float) -> float:
@@ -56,6 +63,9 @@ class ResultTable:
     columns: tuple[str, ...]
     rows: list[tuple[Any, ...]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    metrics_sections: list[tuple[str, dict[str, Any]]] = field(
+        default_factory=list
+    )
 
     def add(self, *values: Any) -> None:
         """Append a row (must match the column count)."""
@@ -69,6 +79,35 @@ class ResultTable:
     def note(self, text: str) -> None:
         """Attach a footnote."""
         self.notes.append(text)
+
+    def add_metrics(self, snapshot: dict[str, Any], title: str = "metrics") -> None:
+        """Append an observability metrics section to the table.
+
+        ``snapshot`` is a :meth:`repro.obs.metrics.MetricsRegistry.snapshot`
+        dict (``name{labels}`` -> value, histograms as sub-dicts); it is
+        rendered after the rows and footnotes.
+        """
+        self.metrics_sections.append((title, dict(snapshot)))
+
+    def _render_metrics(self) -> list[str]:
+        lines: list[str] = []
+        for title, snapshot in self.metrics_sections:
+            lines.append(f"-- {title} --")
+            if not snapshot:
+                lines.append("  (empty)")
+                continue
+            width = max(len(k) for k in snapshot)
+            for key in sorted(snapshot):
+                value = snapshot[key]
+                if isinstance(value, dict):  # histogram snapshot
+                    rendered = (
+                        f"count={format_quantity(value.get('count', 0))} "
+                        f"mean={format_quantity(float(value.get('mean', 0.0)))}"
+                    )
+                else:
+                    rendered = format_quantity(value)
+                lines.append(f"  {key.ljust(width)}  {rendered}")
+        return lines
 
     def render(self) -> str:
         """The table as monospace text."""
@@ -92,6 +131,7 @@ class ResultTable:
             )
         for note in self.notes:
             lines.append(f"* {note}")
+        lines.extend(self._render_metrics())
         return "\n".join(lines)
 
     def show(self) -> None:

@@ -185,8 +185,14 @@ class DataflowGraph:
             return stage.clock.cycles_to_seconds(stage.depth)
         return stage.latency_seconds
 
-    def solve(self) -> ThroughputReport:
-        """Compute the region's sustainable source rate and bottleneck."""
+    def solve(self, tracer=None) -> ThroughputReport:
+        """Compute the region's sustainable source rate and bottleneck.
+
+        ``tracer`` (a :class:`~repro.obs.trace.Tracer`) records per-stage
+        steady-state utilisation — at the sustainable source rate, what
+        fraction of each stage's local rate is consumed — which is the
+        analytic counterpart of the event-driven busy fraction.
+        """
         order = self._toposort()
         gains = self._gains_from_source(order)
         reports: list[StageReport] = []
@@ -203,6 +209,19 @@ class DataflowGraph:
         if math.isinf(best_rate):
             raise ValueError("no stage constrains the source rate")
         fill = self._critical_path_latency(order)
+        if tracer is not None:
+            tracer.dataflow_solved(
+                self.name,
+                bottleneck,
+                {
+                    r.name: (
+                        best_rate * r.gain_from_source / r.local_rate
+                        if r.local_rate
+                        else 0.0
+                    )
+                    for r in reports
+                },
+            )
         return ThroughputReport(
             source_rate=best_rate,
             bottleneck=bottleneck,

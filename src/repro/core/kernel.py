@@ -148,14 +148,28 @@ class BurstKernel:
         self.items_in = 0
         self.items_out = 0
         self.busy_ps = 0
+        self.stall_in_ps = 0
+        self.stall_out_ps = 0
         self.process = sim.spawn(self._run(), name=spec.name)
 
     def _run(self):
+        name = self.spec.name
         first = True
         while True:
+            tracer = self.sim._tracer
+            wait_start = self.sim.now
             burst = yield self.inp.get()
+            stalled = self.sim.now - wait_start
+            self.stall_in_ps += stalled
+            if tracer is not None and stalled:
+                tracer.kernel_stall(name, wait_start, stalled, "input")
             if burst is END_OF_STREAM:
+                put_start = self.sim.now
                 yield self.out.put(END_OF_STREAM)
+                stalled = self.sim.now - put_start
+                self.stall_out_ps += stalled
+                if tracer is not None and stalled:
+                    tracer.kernel_stall(name, put_start, stalled, "output")
                 return
             if not isinstance(burst, Burst):
                 raise TypeError(
@@ -172,13 +186,21 @@ class BurstKernel:
                 cycles = self.spec.occupancy_cycles(burst.count)
             delay = self.spec.clock.cycles_to_ps(cycles)
             self.busy_ps += delay
+            busy_start = self.sim.now
             if delay:
                 yield self.sim.timeout(delay)
+            if tracer is not None:
+                tracer.kernel_busy(name, busy_start, delay, burst.count)
             result = self.fn(burst)
             if result is None:
                 continue
             self.items_out += result.count
+            put_start = self.sim.now
             yield self.out.put(result)
+            stalled = self.sim.now - put_start
+            self.stall_out_ps += stalled
+            if tracer is not None and stalled:
+                tracer.kernel_stall(name, put_start, stalled, "output")
 
 
 class ItemKernel:
@@ -207,31 +229,56 @@ class ItemKernel:
         self.out = out
         self.items_in = 0
         self.items_out = 0
+        self.busy_ps = 0
+        self.stall_in_ps = 0
+        self.stall_out_ps = 0
         self.process = sim.spawn(self._run(), name=spec.name)
 
     def _run(self):
         clock = self.spec.clock
+        name = self.spec.name
         # Model: input accepted every II cycles; the matching output is
         # emitted depth cycles later.  We approximate the skid with a
         # one-shot depth delay before the first emission (equivalent in
         # total cycles for a full stream).
         first = True
         while True:
+            tracer = self.sim._tracer
+            wait_start = self.sim.now
             item = yield self.inp.get()
+            stalled = self.sim.now - wait_start
+            self.stall_in_ps += stalled
+            if tracer is not None and stalled:
+                tracer.kernel_stall(name, wait_start, stalled, "input")
             if item is END_OF_STREAM:
+                put_start = self.sim.now
                 yield self.out.put(END_OF_STREAM)
+                stalled = self.sim.now - put_start
+                self.stall_out_ps += stalled
+                if tracer is not None and stalled:
+                    tracer.kernel_stall(name, put_start, stalled, "output")
                 return
             self.items_in += 1
             cycles = self.spec.ii
             if first:
                 cycles += self.spec.depth - self.spec.ii
                 first = False
-            yield self.sim.timeout(clock.cycles_to_ps(cycles))
+            delay = clock.cycles_to_ps(cycles)
+            self.busy_ps += delay
+            busy_start = self.sim.now
+            yield self.sim.timeout(delay)
+            if tracer is not None:
+                tracer.kernel_busy(name, busy_start, delay, 1)
             result = self.fn(item)
             if result is None:
                 continue
             self.items_out += 1
+            put_start = self.sim.now
             yield self.out.put(result)
+            stalled = self.sim.now - put_start
+            self.stall_out_ps += stalled
+            if tracer is not None and stalled:
+                tracer.kernel_stall(name, put_start, stalled, "output")
 
 
 class Source:

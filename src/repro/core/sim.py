@@ -38,6 +38,8 @@ import itertools
 from collections.abc import Generator, Iterable
 from typing import Any
 
+from ..obs.trace import get_default_tracer
+
 __all__ = [
     "Event",
     "Interrupt",
@@ -198,16 +200,23 @@ class Process(Event):
             self._step(event.value, throw=True)
 
     def _step(self, value: Any, throw: bool) -> None:
+        tracer = self.sim._tracer
+        if tracer is not None:
+            tracer.process_resumed(self.name, self.sim._now)
         try:
             if throw:
                 target = self.generator.throw(value)
             else:
                 target = self.generator.send(value)
         except StopIteration as stop:
+            if tracer is not None:
+                tracer.process_finished(self.name, self.sim._now, ok=True)
             self.succeed(stop.value)
             return
         except Interrupt:
             # Process chose not to handle the interrupt: treat as failure.
+            if tracer is not None:
+                tracer.process_finished(self.name, self.sim._now, ok=False)
             self.fail(SimulationError(f"process {self.name!r} killed by interrupt"))
             return
         if not isinstance(target, Event):
@@ -309,18 +318,39 @@ class Simulator:
     Time is a non-negative integer in abstract units (interpreted as
     nanoseconds by the hardware layers).  Events scheduled at the same
     time fire in scheduling order (FIFO), which keeps runs deterministic.
+
+    ``tracer`` hooks the engine (and every instrumented component built
+    on it) into the observability layer (:mod:`repro.obs`); the default
+    ``None`` — unless a process-wide default tracer is installed — runs
+    the exact untraced code path.  Tracer hooks only record; they never
+    schedule events, so a traced run's event order, ``now`` trajectory
+    and process results are identical to an untraced one.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Any = None) -> None:
         self._now = 0
         self._heap: list[tuple[int, int, Event]] = []
         self._counter = itertools.count()
         self._processes: list[Process] = []
+        self._tracer = tracer if tracer is not None else get_default_tracer()
+        if self._tracer is not None:
+            self._tracer.bind_clock(lambda: self._now)
 
     @property
     def now(self) -> int:
         """Current simulated time."""
         return self._now
+
+    @property
+    def tracer(self) -> Any:
+        """The attached :class:`~repro.obs.trace.Tracer`, or ``None``."""
+        return self._tracer
+
+    def attach_tracer(self, tracer: Any) -> None:
+        """Attach (or replace) a tracer and bind it to this clock."""
+        self._tracer = tracer
+        if tracer is not None:
+            tracer.bind_clock(lambda: self._now)
 
     # -- event factories --------------------------------------------------
 
@@ -350,7 +380,10 @@ class Simulator:
     def _schedule(self, event: Event, delay: int = 0) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._heap, (self._now + int(delay), next(self._counter), event))
+        when = self._now + int(delay)
+        heapq.heappush(self._heap, (when, next(self._counter), event))
+        if self._tracer is not None:
+            self._tracer.sim_event_scheduled(event, when)
 
     def peek(self) -> int | None:
         """Time of the next scheduled event, or None if the heap is empty."""
@@ -363,6 +396,8 @@ class Simulator:
         when, _, event = heapq.heappop(self._heap)
         self._now = when
         event._fired = True
+        if self._tracer is not None:
+            self._tracer.sim_event_fired(event, when)
         callbacks, event.callbacks = event.callbacks, []
         for callback in callbacks:
             callback(event)

@@ -65,13 +65,20 @@ class Burst:
 
 @dataclass(slots=True)
 class StreamStats:
-    """Counters a stream keeps for bottleneck analysis."""
+    """Counters a stream keeps for bottleneck analysis.
+
+    ``*_stall_ps`` accumulate how long blocked puts/gets waited before
+    resolving — the stream-side view of backpressure that the profiler
+    (:mod:`repro.obs.profile`) reports as stall time.
+    """
 
     puts: int = 0
     gets: int = 0
     items: int = 0
     producer_stall_events: int = 0
     consumer_stall_events: int = 0
+    producer_stall_ps: int = 0
+    consumer_stall_ps: int = 0
     high_watermark: int = 0
 
 
@@ -97,8 +104,10 @@ class Stream:
         self.name = name
         self.stats = StreamStats()
         self._queue: deque[Any] = deque()
-        self._getters: deque[Event] = deque()
-        self._putters: deque[tuple[Event, Any]] = deque()
+        # Blocked waiters carry the time they queued so the stall
+        # duration can be accounted when they resolve.
+        self._getters: deque[tuple[Event, int]] = deque()
+        self._putters: deque[tuple[Event, Any, int]] = deque()
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -116,32 +125,54 @@ class Stream:
     def put(self, item: Any) -> Event:
         """Return an event that fires once ``item`` has been enqueued."""
         done = Event(self.sim)
+        tracer = self.sim._tracer
         if self._getters:
             # Hand the item straight to the longest-waiting consumer.
-            getter = self._getters.popleft()
+            getter, since = self._getters.popleft()
             getter.succeed(item)
             done.succeed()
             self._account_put(item)
+            self._end_consumer_stall(since)
+            if tracer is not None:
+                tracer.stream_put(
+                    self.name, self._count(item), len(self._queue),
+                    blocked=False,
+                )
         elif len(self._queue) < self.depth:
             self._queue.append(item)
             done.succeed()
             self._account_put(item)
+            if tracer is not None:
+                tracer.stream_put(
+                    self.name, self._count(item), len(self._queue),
+                    blocked=False,
+                )
         else:
             self.stats.producer_stall_events += 1
-            self._putters.append((done, item))
+            self._putters.append((done, item, self.sim.now))
+            if tracer is not None:
+                tracer.stream_put(
+                    self.name, self._count(item), len(self._queue),
+                    blocked=True,
+                )
         return done
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""
         got = Event(self.sim)
+        tracer = self.sim._tracer
         if self._queue:
             item = self._queue.popleft()
             got.succeed(item)
             self._account_get(item)
             self._drain_putters()
+            if tracer is not None:
+                tracer.stream_get(self.name, blocked=False)
         else:
             self.stats.consumer_stall_events += 1
-            self._getters.append(got)
+            self._getters.append((got, self.sim.now))
+            if tracer is not None:
+                tracer.stream_get(self.name, blocked=True)
         return got
 
     def try_get(self) -> tuple[bool, Any]:
@@ -155,16 +186,36 @@ class Stream:
 
     # -- internal ---------------------------------------------------------
 
+    @staticmethod
+    def _count(item: Any) -> int:
+        return item.count if isinstance(item, Burst) else 1
+
     def _drain_putters(self) -> None:
         while self._putters and len(self._queue) < self.depth:
-            done, item = self._putters.popleft()
+            done, item, since = self._putters.popleft()
             if self._getters:
-                getter = self._getters.popleft()
+                getter, gsince = self._getters.popleft()
                 getter.succeed(item)
+                self._end_consumer_stall(gsince)
             else:
                 self._queue.append(item)
             done.succeed()
             self._account_put(item)
+            self._end_producer_stall(since)
+
+    def _end_producer_stall(self, since: int) -> None:
+        dur = self.sim.now - since
+        self.stats.producer_stall_ps += dur
+        tracer = self.sim._tracer
+        if tracer is not None:
+            tracer.stream_stall(self.name, "producer", since, dur)
+
+    def _end_consumer_stall(self, since: int) -> None:
+        dur = self.sim.now - since
+        self.stats.consumer_stall_ps += dur
+        tracer = self.sim._tracer
+        if tracer is not None:
+            tracer.stream_stall(self.name, "consumer", since, dur)
 
     def _account_put(self, item: Any) -> None:
         self.stats.puts += 1

@@ -72,12 +72,16 @@ def simulate_clients(
     n_clients: int,
     queries_per_client: int = 4,
     mode: str = "offload",
+    tracer=None,
 ) -> ConcurrencyResult:
     """Run ``n_clients`` issuing queries back-to-back; returns aggregates.
 
     ``mode`` is ``"offload"`` (scan stays node-side, results cross the
     wire) or ``"fetch"`` (the touched columns cross the wire, the plan
     runs client-side — client CPU time is charged per query).
+    ``tracer`` attaches an observability tracer to the internal
+    simulator, putting the contended DRAM and egress ports on trace
+    tracks for the profiler.
     """
     if n_clients < 1:
         raise ValueError("need at least one client")
@@ -101,7 +105,7 @@ def simulate_clients(
             cpu_cost_s(plan, table.project(touched), xeon_server()) * _PS
         )
 
-    sim = Simulator()
+    sim = Simulator(tracer=tracer)
     memory = MemoryPort(sim, _memory_model(server))
     egress = MemoryPort(sim, _egress_model(server))
     request_ps = server.protocol.message_ps(128)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..obs.trace import get_default_tracer
 from .model import MemoryModel
 
 __all__ = ["Allocation", "BankedMemory"]
@@ -38,12 +39,25 @@ class Allocation:
 
 
 class BankedMemory:
-    """A bank of identical memory channels with region placement."""
+    """A bank of identical memory channels with region placement.
 
-    def __init__(self, channels: list[MemoryModel], name: str = "banked") -> None:
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`) records per-channel
+    access volume, busy time and bank conflicts whenever
+    :meth:`batch_lookup_time_ps` runs; when omitted, the process-wide
+    default tracer (if any) is used, and with none installed the
+    accounting costs nothing.
+    """
+
+    def __init__(
+        self,
+        channels: list[MemoryModel],
+        name: str = "banked",
+        tracer=None,
+    ) -> None:
         if not channels:
             raise ValueError("banked memory needs at least one channel")
         self.name = name
+        self.tracer = tracer if tracer is not None else get_default_tracer()
         self.channels = list(channels)
         self._allocations: dict[str, Allocation] = {}
         self._striped: dict[str, tuple[str, ...]] = {}
@@ -52,12 +66,16 @@ class BankedMemory:
 
     @classmethod
     def uniform(
-        cls, channel_model: MemoryModel, n_channels: int, name: str = "banked"
+        cls,
+        channel_model: MemoryModel,
+        n_channels: int,
+        name: str = "banked",
+        tracer=None,
     ) -> "BankedMemory":
         """A bank of ``n_channels`` identical channels."""
         if n_channels < 1:
             raise ValueError("need at least one channel")
-        return cls([channel_model] * n_channels, name=name)
+        return cls([channel_model] * n_channels, name=name, tracer=tracer)
 
     @property
     def n_channels(self) -> int:
@@ -223,6 +241,7 @@ class BankedMemory:
                 add(shard, min(share, remaining), nbytes_each)
                 remaining -= share
         makespan = 0
+        tracer = self.tracer
         for channel, reqs in per_channel.items():
             model = self.channels[channel]
             # One latency per channel (requests pipeline), then summed
@@ -234,6 +253,14 @@ class BankedMemory:
             )
             busy = model.latency_ps + occupancy if occupancy else 0
             makespan = max(makespan, busy)
+            if tracer is not None:
+                tracer.bank_access(
+                    self.name, channel, sum(n for n, _ in reqs), busy
+                )
+                if len(reqs) > 1:
+                    # Several regions' lookups serialised on one channel:
+                    # the placement conflict balanced layouts avoid.
+                    tracer.bank_conflict(self.name, channel, len(reqs))
         return makespan
 
     def striped_scan_time_ps(self, total_bytes: int) -> int:

@@ -142,6 +142,7 @@ class MemoryPort:
         self.sim = sim
         self.model = model
         self.busy_until_ps = 0
+        self.busy_ps = 0
         self.bytes_moved = 0
         self.requests = 0
 
@@ -153,8 +154,14 @@ class MemoryPort:
         duration = self.model.access_time_ps(nbytes, pattern)
         start = max(self.sim.now, self.busy_until_ps)
         self.busy_until_ps = start + duration
+        self.busy_ps += duration
         self.bytes_moved += max(0, nbytes)
         self.requests += 1
+        tracer = self.sim._tracer
+        if tracer is not None:
+            tracer.memory_access(
+                self.model.name, start, duration, nbytes, pattern.value
+            )
         done = Event(self.sim)
         done.succeed(value=nbytes, delay=self.busy_until_ps - self.sim.now)
         return done

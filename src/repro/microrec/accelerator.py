@@ -89,6 +89,7 @@ class MicroRecAccelerator:
         config: MicroRecConfig = MicroRecConfig(),
         device: Device = ALVEO_U280,
         seed: int = 0,
+        tracer=None,
     ) -> None:
         spec = tables.spec
         self.tables = tables
@@ -119,7 +120,8 @@ class MicroRecAccelerator:
             sram_bytes=used,
         )
         self._hbm = BankedMemory.uniform(
-            hbm2_channel(), config.n_hbm_channels, name="microrec-hbm"
+            hbm2_channel(), config.n_hbm_channels, name="microrec-hbm",
+            tracer=tracer,
         )
         channel_cap = hbm2_channel().capacity_bytes
         for idx in hbm_tables:

@@ -120,6 +120,7 @@ class NodePort:
         self.fabric = fabric
         self.node = node
         self.egress_busy_until = 0
+        self.busy_ps = 0
         self.bytes_sent = 0
         self.messages_sent = 0
 
@@ -132,8 +133,14 @@ class NodePort:
             self.egress_busy_until
             + self.fabric.message_ps(self.node, dst, 0)  # latency component
         )
+        self.busy_ps += serialization
         self.bytes_sent += max(0, nbytes)
         self.messages_sent += 1
+        tracer = self.sim._tracer
+        if tracer is not None:
+            tracer.link_transfer(
+                f"node{self.node}.egress", start, serialization, nbytes, dst
+            )
         done = Event(self.sim)
         done.succeed(value=nbytes, delay=delivered - self.sim.now)
         return done

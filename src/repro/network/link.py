@@ -5,6 +5,11 @@ adjacent ports — bandwidth-limited serialization plus propagation.
 Protocol costs (per-message software/firmware overheads, which is where
 FPGA network stacks beat kernel stacks) live one layer up in
 :mod:`repro.network.protocol`.
+
+:class:`SimLink` binds a :class:`LinkModel` to the event simulator as a
+shared egress resource: transfers serialise on the wire FIFO, the
+returned event fires at delivery, and — when the simulator carries a
+tracer — every transfer lands on the link's trace track.
 """
 
 from __future__ import annotations
@@ -12,7 +17,15 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["LinkModel", "ethernet_100g", "ethernet_10g", "ethernet_25g"]
+from ..core.sim import Event, Simulator
+
+__all__ = [
+    "LinkModel",
+    "SimLink",
+    "ethernet_100g",
+    "ethernet_10g",
+    "ethernet_25g",
+]
 
 _PS_PER_S = 1_000_000_000_000
 
@@ -76,6 +89,49 @@ class LinkModel:
         if nbytes <= 0:
             return 0.0
         return nbytes * _PS_PER_S / self.transfer_ps(nbytes)
+
+
+class SimLink:
+    """A :class:`LinkModel` as a FIFO-serialised simulator resource.
+
+    Transfers occupy the wire back-to-back in issue order (a link has
+    one serialiser); the returned event fires when the last byte has
+    arrived at the far end, ``serialization + propagation`` after the
+    wire freed up.  ``busy_ps``/``bytes_moved`` feed the profiler's
+    busy/stall breakdown.
+    """
+
+    def __init__(
+        self, sim: Simulator, model: LinkModel, name: str | None = None
+    ) -> None:
+        self.sim = sim
+        self.model = model
+        self.name = name if name is not None else model.name
+        self.busy_until_ps = 0
+        self.busy_ps = 0
+        self.bytes_moved = 0
+        self.transfers = 0
+
+    def transfer(self, nbytes: int, dst: object = None) -> Event:
+        """Send ``nbytes``; the event fires (with ``nbytes``) at delivery."""
+        serialization = self.model.serialization_ps(nbytes)
+        start = max(self.sim.now, self.busy_until_ps)
+        self.busy_until_ps = start + serialization
+        delivered = self.busy_until_ps + self.model.propagation_ps
+        self.busy_ps += serialization
+        self.bytes_moved += max(0, nbytes)
+        self.transfers += 1
+        tracer = self.sim._tracer
+        if tracer is not None:
+            tracer.link_transfer(self.name, start, serialization, nbytes, dst)
+        done = Event(self.sim)
+        done.succeed(value=nbytes, delay=delivered - self.sim.now)
+        return done
+
+    @property
+    def utilization_window_ps(self) -> int:
+        """How far ahead of ``sim.now`` the wire is committed."""
+        return max(0, self.busy_until_ps - self.sim.now)
 
 
 def ethernet_100g(propagation_ps: int = 500_000) -> LinkModel:

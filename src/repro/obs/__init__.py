@@ -1,0 +1,37 @@
+"""Observability for the simulator: metrics, tracing, profiling.
+
+Three cooperating pieces (see DESIGN.md §6 "Observability"):
+
+* :mod:`repro.obs.metrics` — a registry of named counters, gauges and
+  fixed-bucket histograms with hierarchical labels; zero overhead when
+  disabled.
+* :mod:`repro.obs.trace` — the event tracer the instrumented classes
+  (:class:`~repro.core.sim.Simulator`, streams, kernels, links, memory
+  ports/banks) emit through, with Chrome ``trace_event`` JSON export
+  and plain-text utilisation summaries.
+* :mod:`repro.obs.profile` — a context-manager profiler reporting
+  cycles-busy vs cycles-stalled per component.
+
+The contract every instrumented hot path honours: with no tracer
+attached (the default) the pre-observability code path runs unchanged;
+with one attached, recording never alters simulated behaviour
+(trace transparency).
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import ComponentProfile, ProfileReport, Profiler
+from .trace import TraceEvent, Tracer, get_default_tracer, set_default_tracer
+
+__all__ = [
+    "ComponentProfile",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProfileReport",
+    "Profiler",
+    "TraceEvent",
+    "Tracer",
+    "get_default_tracer",
+    "set_default_tracer",
+]

@@ -20,6 +20,32 @@ def test_format_quantity_suffixes():
     assert format_quantity(0.5) == "0.5"
 
 
+def test_format_quantity_boundary_promotion():
+    # values that round across a decade boundary must promote to the
+    # next suffix band (the pre-fix fall-through printed "1e+03" here)
+    assert format_quantity(999.9996) == "1K"
+    assert format_quantity(9.9999e-13) == "1p"
+    assert format_quantity(999_999.6) == "1M"
+    assert format_quantity(0.0099999) == "0.01"
+
+
+def test_format_quantity_exact_boundaries():
+    assert format_quantity(1000.0) == "1K"
+    assert format_quantity(1e-12) == "1p"
+    assert format_quantity(0.01) == "0.01"
+    assert format_quantity(999.4) == "999"
+
+
+def test_format_quantity_below_smallest_suffix_is_scientific():
+    assert format_quantity(9e-13) == "9e-13"
+    assert format_quantity(2.5e-14) == "2.5e-14"
+
+
+def test_format_quantity_negative_and_digits():
+    assert format_quantity(-1500.0) == "-1.5K"
+    assert format_quantity(1234.0, digits=4) == "1.234K"
+
+
 def test_speedup():
     assert speedup(10.0, 2.0) == pytest.approx(5.0)
     with pytest.raises(ValueError):
@@ -47,6 +73,23 @@ def test_result_table_row_arity_checked():
 def test_empty_table_renders():
     table = ResultTable("Empty", ("col",))
     assert "Empty" in table.render()
+
+
+def test_result_table_metrics_section_renders():
+    table = ResultTable("T", ("x",))
+    table.add(1)
+    table.add_metrics(
+        {
+            "kernel.items{kernel=k}": 64,
+            "stream.latency": {"count": 2, "sum": 30.0, "mean": 15.0,
+                               "buckets": {"le_10": 1, "le_inf": 1}},
+        },
+        title="obs metrics",
+    )
+    text = table.render()
+    assert "-- obs metrics --" in text
+    assert "kernel.items{kernel=k}" in text
+    assert "count=2" in text and "mean=15" in text
 
 
 def test_show_prints(capsys):

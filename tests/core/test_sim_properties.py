@@ -1,0 +1,121 @@
+"""Property-based tests for the discrete-event engine (repro.core.sim).
+
+Randomised interleavings of spawn/timeout/interrupt/all_of/any_of must
+uphold three engine invariants:
+
+* simulated time never decreases while events fire;
+* events scheduled for the same timestamp fire in scheduling (FIFO)
+  order;
+* attaching a tracer never changes event order, timestamps, or process
+  results (trace transparency).
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sim import Interrupt, Simulator, all_of, any_of
+from repro.obs import Tracer
+
+# A program spec is (interrupt_at | None, [[worker delays], ...]).
+_WORKERS = st.lists(
+    st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=5),
+    min_size=1,
+    max_size=4,
+)
+_SPEC = st.tuples(
+    st.one_of(st.none(), st.integers(min_value=0, max_value=60)),
+    _WORKERS,
+)
+
+
+def _run_program(spec, tracer=None):
+    """Build and run a randomised program; return (sim, event log)."""
+    interrupt_at, workers = spec
+    sim = Simulator(tracer=tracer)
+    log = []
+
+    def worker(wid, delays):
+        try:
+            for step, d in enumerate(delays):
+                yield sim.timeout(d)
+                log.append((sim.now, wid, step))
+            return wid * 1000 + sim.now
+        except Interrupt as exc:
+            log.append((sim.now, wid, "interrupted"))
+            return exc.cause
+
+    procs = [
+        sim.spawn(worker(i, d), name=f"w{i}") for i, d in enumerate(workers)
+    ]
+
+    def joiner():
+        values = yield all_of(sim, procs)
+        log.append((sim.now, "join", tuple(values)))
+
+    def racer():
+        first = yield any_of(sim, procs)
+        log.append((sim.now, "race", first.value))
+
+    sim.spawn(joiner(), name="join")
+    sim.spawn(racer(), name="race")
+
+    if interrupt_at is not None:
+
+        def assassin():
+            yield sim.timeout(interrupt_at)
+            target = procs[interrupt_at % len(procs)]
+            if target.is_alive:
+                target.interrupt(cause=-1)
+                log.append((sim.now, "assassin", interrupt_at))
+
+        sim.spawn(assassin(), name="assassin")
+
+    sim.run()
+    return sim, log
+
+
+@given(_SPEC)
+@settings(max_examples=25, deadline=None)
+def test_time_is_nondecreasing(spec):
+    sim, log = _run_program(spec)
+    times = [entry[0] for entry in log]
+    assert times == sorted(times)
+    assert log, "program must make progress"
+    assert sim.now >= max(times)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_fifo_order_at_equal_timestamps(delays):
+    sim = Simulator()
+    fired = []
+    for i, d in enumerate(delays):
+        ev = sim.event()
+        ev.callbacks.append(lambda e, i=i: fired.append(i))
+        ev.succeed(delay=d)
+    sim.run()
+    # stable sort on (when, scheduling index) == required fire order
+    expected = [i for _, i in sorted((d, i) for i, d in enumerate(delays))]
+    assert fired == expected
+
+
+@given(_SPEC)
+@settings(max_examples=25, deadline=None)
+def test_trace_transparency(spec):
+    sim_plain, log_plain = _run_program(spec)
+    tracer = Tracer(verbose_sim=True)
+    sim_traced, log_traced = _run_program(spec, tracer=tracer)
+    assert log_traced == log_plain
+    assert sim_traced.now == sim_plain.now
+    # ... and the tracer did actually observe the run
+    assert tracer.registry.snapshot()["sim.events.fired"] > 0
+
+
+@given(_SPEC)
+@settings(max_examples=15, deadline=None)
+def test_runs_are_deterministic(spec):
+    _, first = _run_program(spec)
+    _, second = _run_program(spec)
+    assert first == second
