@@ -59,6 +59,8 @@ _EXPERIMENTS: dict[str, tuple[str, str]] = {
     "e20": ("hash joins: the CIDR'20 question", "bench_e20_hash_join.py"),
     "e21": ("business-rule matching (Amadeus)",
             "bench_e21_business_rules.py"),
+    "e22": ("fault tolerance: tail latency under injected faults",
+            "bench_e22_fault_tolerance.py"),
 }
 
 _INVENTORY = [
@@ -74,6 +76,7 @@ _INVENTORY = [
     ("repro.operators", "HLL / Count-Min / BiS-KM / codecs"),
     ("repro.lsm", "LSM store + compaction offload (X-Engine)"),
     ("repro.kvstore", "smart-NIC key-value store (KV-Direct)"),
+    ("repro.faults", "fault injection, timeouts, retry/recovery"),
     ("repro.workloads", "synthetic workload generators"),
 ]
 
@@ -93,7 +96,11 @@ def _cmd_experiments() -> int:
     return 0
 
 
-def _cmd_run(ids: list[str], trace: str | None = None) -> int:
+def _cmd_run(
+    ids: list[str],
+    trace: str | None = None,
+    faults: float | None = None,
+) -> int:
     bench_dir = Path("benchmarks")
     if not bench_dir.is_dir():
         print("error: benchmarks/ not found — run from the repository root",
@@ -116,6 +123,14 @@ def _cmd_run(ids: list[str], trace: str | None = None) -> int:
         # benchmarks/conftest.py installs the default tracer when it
         # sees this variable and exports the Chrome trace on teardown.
         env["REPRO_TRACE"] = str(Path(trace).resolve())
+    if faults is not None:
+        if not 0.0 <= faults <= 1.0:
+            print(f"error: --faults must be in [0, 1], got {faults}",
+                  file=sys.stderr)
+            return 2
+        # Fault-aware benches (e22) sweep {0, faults} instead of their
+        # default rate ladder.
+        env["REPRO_FAULT_RATE"] = repr(faults)
     status = subprocess.call(command, env=env)
     if trace and status == 0:
         print(f"trace written to {trace} "
@@ -138,13 +153,18 @@ def main(argv: list[str] | None = None) -> int:
         help="record the run through repro.obs and export a Chrome "
              "trace_event JSON file",
     )
+    run.add_argument(
+        "--faults", metavar="RATE", type=float, default=None,
+        help="inject faults at this rate (0..1) in fault-aware "
+             "experiments (e22), e.g. --faults 0.01",
+    )
     args = parser.parse_args(argv)
     if args.command == "info":
         return _cmd_info()
     if args.command == "experiments":
         return _cmd_experiments()
     if args.command == "run":
-        return _cmd_run(args.ids, trace=args.trace)
+        return _cmd_run(args.ids, trace=args.trace, faults=args.faults)
     parser.print_help()
     return 0
 

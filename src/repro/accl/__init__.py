@@ -18,11 +18,14 @@ from .collectives import (
     reduce_tree,
     scatter_flat,
 )
+from .resilient import ResilientAllreduce, allreduce_with_faults
 
 __all__ = [
     "CollectiveOutcome",
     "FpgaCluster",
     "HostStagedCluster",
+    "ResilientAllreduce",
+    "allreduce_with_faults",
     "allgather_ring",
     "allreduce_recursive_doubling",
     "allreduce_ring",

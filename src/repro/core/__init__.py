@@ -33,10 +33,12 @@ from .sim import (
     SimulationError,
     Simulator,
     Timeout,
+    WaitTimeout,
     all_of,
     any_of,
+    with_timeout,
 )
-from .stream import Burst, END_OF_STREAM, Stream
+from .stream import Burst, END_OF_STREAM, Stream, StreamTimeout
 from .topology import Fork, Merge, RoundRobinSplit, Zip
 
 __all__ = [
@@ -72,10 +74,13 @@ __all__ = [
     "Sink",
     "Source",
     "Stream",
+    "StreamTimeout",
     "ThroughputReport",
     "Timeout",
+    "WaitTimeout",
     "Zip",
     "all_of",
     "any_of",
     "synthesize",
+    "with_timeout",
 ]

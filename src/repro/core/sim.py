@@ -47,13 +47,28 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Timeout",
+    "WaitTimeout",
     "all_of",
     "any_of",
+    "with_timeout",
 ]
 
 
 class SimulationError(RuntimeError):
     """Raised for illegal uses of the simulation API."""
+
+
+class WaitTimeout(SimulationError):
+    """Raised into a process when a :func:`with_timeout` wait expires.
+
+    ``timeout_ps`` is the budget that ran out; ``waited`` the event the
+    process abandoned (already unlinked/cancelled where possible).
+    """
+
+    def __init__(self, timeout_ps: int, waited: "Event | None" = None) -> None:
+        super().__init__(f"wait timed out after {timeout_ps} ps")
+        self.timeout_ps = timeout_ps
+        self.waited = waited
 
 
 class Interrupt(Exception):
@@ -74,9 +89,18 @@ class Event:
     An event starts *pending*; calling :meth:`succeed` (or
     :meth:`fail`) schedules it to fire, waking every process that
     yielded it.  Events can only be triggered once.
+
+    A pending (or scheduled-but-not-yet-fired) event can be
+    :meth:`cancel`-led: it will never fire, its callbacks are dropped,
+    and any registered :meth:`on_cancel` hooks run so the event's owner
+    (e.g. a :class:`~repro.core.stream.Stream` holding a blocked
+    getter) can unlink the abandoned waiter from its own state.
     """
 
-    __slots__ = ("sim", "_value", "_ok", "_triggered", "_fired", "callbacks")
+    __slots__ = (
+        "sim", "_value", "_ok", "_triggered", "_fired", "_cancelled",
+        "_cancel_hooks", "callbacks",
+    )
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -84,6 +108,8 @@ class Event:
         self._ok = True
         self._triggered = False
         self._fired = False
+        self._cancelled = False
+        self._cancel_hooks: list[Any] = []
         self.callbacks: list[Any] = []
 
     @property
@@ -106,8 +132,15 @@ class Event:
         """False if the event carries an exception."""
         return self._ok
 
+    @property
+    def cancelled(self) -> bool:
+        """True once the event has been abandoned via :meth:`cancel`."""
+        return self._cancelled
+
     def succeed(self, value: Any = None, delay: int = 0) -> "Event":
         """Schedule the event to fire with ``value`` after ``delay``."""
+        if self._cancelled:
+            raise SimulationError("cannot trigger a cancelled event")
         if self._triggered:
             raise SimulationError("event already triggered")
         self._triggered = True
@@ -118,6 +151,8 @@ class Event:
 
     def fail(self, exc: BaseException, delay: int = 0) -> "Event":
         """Schedule the event to fire carrying an exception."""
+        if self._cancelled:
+            raise SimulationError("cannot trigger a cancelled event")
         if self._triggered:
             raise SimulationError("event already triggered")
         if not isinstance(exc, BaseException):
@@ -127,6 +162,36 @@ class Event:
         self._ok = False
         self.sim._schedule(self, delay)
         return self
+
+    def on_cancel(self, hook: Any) -> None:
+        """Register ``hook(event)`` to run if this event is cancelled.
+
+        Owners of waiter events (streams, ports) use this to unlink an
+        abandoned waiter from their internal queues; events carrying a
+        hook advertise that they are safe to abandon.
+        """
+        self._cancel_hooks.append(hook)
+
+    def cancel(self) -> bool:
+        """Abandon the event: it will never fire and wakes nobody.
+
+        Pending events simply never trigger; already-scheduled (but not
+        yet fired) events — e.g. a no-longer-needed :class:`Timeout` —
+        are lazily dropped from the event heap without advancing the
+        clock.  Returns False (a no-op) once the event has fired or was
+        already cancelled.
+        """
+        if self._fired or self._cancelled:
+            return False
+        self._cancelled = True
+        self.callbacks.clear()
+        hooks, self._cancel_hooks = self._cancel_hooks, []
+        for hook in hooks:
+            hook(self)
+        tracer = self.sim._tracer
+        if tracer is not None:
+            tracer.sim_event_cancelled(self)
+        return True
 
 
 class Timeout(Event):
@@ -152,7 +217,8 @@ class Process(Event):
     process from another process therefore *joins* it.
     """
 
-    __slots__ = ("generator", "name", "_waiting_on")
+    __slots__ = ("generator", "name", "_waiting_on", "_generation", "_defused",
+                 "_unobserved")
 
     def __init__(
         self,
@@ -168,15 +234,35 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Event | None = None
-        # Kick the process off at the current simulation time.
+        # Resumption token: every armed resumption (callback or queued
+        # immediate) belongs to one generation; interrupt() bumps the
+        # generation so a stale queued resume cannot step the generator
+        # a second time after the Interrupt throw.
+        self._generation = 0
+        self._defused = False
+        self._unobserved = False
+        # Kick the process off at the current simulation time.  The
+        # bootstrap registers as the awaited event so the staleness
+        # guard in _resume recognises it as a live resumption.
         bootstrap = Event(sim)
         bootstrap.callbacks.append(self._resume)
+        self._waiting_on = bootstrap
         bootstrap.succeed()
 
     @property
     def is_alive(self) -> bool:
         """True while the underlying generator has not finished."""
         return not self._triggered
+
+    def defuse(self) -> None:
+        """Mark this process's failure as handled.
+
+        A failed process nobody joined makes :meth:`Simulator.run`
+        raise at exit; a supervisor that deliberately kills workers
+        (e.g. a retry loop abandoning a timed-out attempt) defuses them
+        to declare the failure expected.
+        """
+        self._defused = True
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
@@ -185,14 +271,35 @@ class Process(Event):
         waited = self._waiting_on
         if waited is not None and self._resume in waited.callbacks:
             waited.callbacks.remove(self._resume)
+            if (not waited.callbacks and not waited._triggered
+                    and waited._cancel_hooks):
+                # Sole waiter on an abandonable event (a stream getter /
+                # putter): cancel it so the owner unlinks the orphan and
+                # no item is handed to a dead consumer.
+                waited.cancel()
         self._waiting_on = None
+        self._generation += 1
+        token = self._generation
         wake = Event(self.sim)
-        wake.callbacks.append(lambda ev: self._step(Interrupt(cause), throw=True))
+        wake.callbacks.append(
+            lambda ev: self._deliver_interrupt(Interrupt(cause), token)
+        )
         wake.succeed()
 
     # -- internal ---------------------------------------------------------
 
+    def _deliver_interrupt(self, exc: Interrupt, token: int) -> None:
+        if token != self._generation or not self.is_alive:
+            # Superseded by a later interrupt, or the process finished
+            # before delivery.
+            return
+        self._step(exc, throw=True)
+
     def _resume(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            # Stale wake: the wait was abandoned (interrupt) after this
+            # event's callbacks were already snapshotted for firing.
+            return
         self._waiting_on = None
         if event.ok:
             self._step(event.value, throw=False)
@@ -219,6 +326,16 @@ class Process(Event):
                 tracer.process_finished(self.name, self.sim._now, ok=False)
             self.fail(SimulationError(f"process {self.name!r} killed by interrupt"))
             return
+        except SimulationError as exc:
+            # A modelled failure (dropped transfer, dead node, ...) the
+            # process chose not to handle fails the process, so joiners —
+            # retry loops above all — see it thrown at their yield.  Any
+            # other exception is a programming error and still propagates
+            # synchronously out of run().
+            if tracer is not None:
+                tracer.process_finished(self.name, self.sim._now, ok=False)
+            self.fail(exc)
+            return
         if not isinstance(target, Event):
             self.fail(
                 SimulationError(
@@ -229,17 +346,26 @@ class Process(Event):
             return
         if target._fired:
             # Already fired: resume immediately at the current time.
+            if isinstance(target, Process):
+                self.sim._defuse(target)
+            self._generation += 1
+            token = self._generation
             immediate = Event(self.sim)
             immediate.callbacks.append(
-                lambda ev, tgt=target: self._resume_from_fired(tgt)
+                lambda ev, tgt=target, tok=token: self._resume_from_fired(tgt, tok)
             )
             immediate.succeed()
             self._waiting_on = None
         else:
+            self._generation += 1
             target.callbacks.append(self._resume)
             self._waiting_on = target
 
-    def _resume_from_fired(self, target: Event) -> None:
+    def _resume_from_fired(self, target: Event, token: int) -> None:
+        if token != self._generation or not self.is_alive:
+            # An interrupt invalidated this queued resumption; without
+            # the token the process would be stepped twice.
+            return
         if target.ok:
             self._step(target.value, throw=False)
         else:
@@ -263,6 +389,8 @@ class _Condition(Event):
             return
         for ev in self.events:
             if ev._fired:
+                if isinstance(ev, Process):
+                    sim._defuse(ev)
                 self._on_member(ev)
             else:
                 ev.callbacks.append(self._on_member)
@@ -310,6 +438,59 @@ def all_of(sim: "Simulator", events: Iterable[Event]) -> Event:
 def any_of(sim: "Simulator", events: Iterable[Event]) -> Event:
     """An event that fires as soon as any member fires (value: that event)."""
     return _AnyOf(sim, events)
+
+
+def with_timeout(sim: "Simulator", event: Event, timeout_ps: int) -> Event:
+    """Wait on ``event`` for at most ``timeout_ps``.
+
+    Returns an event that mirrors ``event`` (same value / exception) if
+    it fires within the budget, and fails with :class:`WaitTimeout`
+    otherwise.  On expiry the wait is *abandoned cleanly*: the
+    wrapper's callback is unlinked from ``event`` and, if that leaves
+    an abandonable waiter (one carrying :meth:`Event.on_cancel` hooks,
+    e.g. a blocked stream getter) with no other listeners, the waiter
+    is cancelled so its owner can unlink it — FIFO state stays intact.
+    The guard timer is likewise cancelled when ``event`` wins, so an
+    unused long timeout never extends the simulated run.
+    """
+    if not isinstance(event, Event):
+        raise SimulationError(
+            f"with_timeout requires an Event, got {type(event).__name__}"
+        )
+    timeout_ps = int(timeout_ps)
+    if timeout_ps < 0:
+        raise SimulationError(f"negative timeout: {timeout_ps}")
+    wrapper = Event(sim)
+    if event._fired:
+        if event.ok:
+            wrapper.succeed(event.value)
+        else:
+            wrapper.fail(event.value)
+        return wrapper
+    timer = Timeout(sim, timeout_ps)
+
+    def _won(ev: Event) -> None:
+        if wrapper._triggered:
+            return
+        timer.cancel()
+        if ev.ok:
+            wrapper.succeed(ev.value)
+        else:
+            wrapper.fail(ev.value)
+
+    def _expired(_timer: Event) -> None:
+        if wrapper._triggered:
+            return
+        if _won in event.callbacks:
+            event.callbacks.remove(_won)
+        if (not event.callbacks and not event._triggered
+                and event._cancel_hooks):
+            event.cancel()
+        wrapper.fail(WaitTimeout(timeout_ps, waited=event))
+
+    event.callbacks.append(_won)
+    timer.callbacks.append(_expired)
+    return wrapper
 
 
 class Simulator:
@@ -385,12 +566,27 @@ class Simulator:
         if self._tracer is not None:
             self._tracer.sim_event_scheduled(event, when)
 
+    def _prune_cancelled(self) -> None:
+        # Cancelled events are dropped lazily from the heap top so an
+        # abandoned guard timer never advances the clock.
+        heap = self._heap
+        while heap and heap[0][2]._cancelled:
+            heapq.heappop(heap)
+
+    @staticmethod
+    def _defuse(event: Event) -> None:
+        """Joining a fired process counts as observing its failure."""
+        if isinstance(event, Process):
+            event._defused = True
+
     def peek(self) -> int | None:
         """Time of the next scheduled event, or None if the heap is empty."""
+        self._prune_cancelled()
         return self._heap[0][0] if self._heap else None
 
     def step(self) -> None:
         """Fire the single next event."""
+        self._prune_cancelled()
         if not self._heap:
             raise SimulationError("no scheduled events")
         when, _, event = heapq.heappop(self._heap)
@@ -401,24 +597,54 @@ class Simulator:
         callbacks, event.callbacks = event.callbacks, []
         for callback in callbacks:
             callback(event)
-        if not event.ok and not callbacks and not isinstance(event, Process):
-            # A failure nobody waited for must not pass silently.
-            raise event.value
+        if not event.ok and not callbacks:
+            if not isinstance(event, Process):
+                # A failure nobody waited for must not pass silently.
+                raise event.value
+            if not event._defused:
+                # A failed process nobody joined: remember it so run()
+                # can surface the failure instead of swallowing it.
+                event._unobserved = True
+
+    def _raise_unjoined_failures(self) -> None:
+        pending = [
+            p for p in self._processes if p._unobserved and not p._defused
+        ]
+        if not pending:
+            return
+        for proc in pending:
+            proc._unobserved = False
+            if self._tracer is not None:
+                self._tracer.process_failed_unjoined(proc.name, self._now)
+        raise pending[0].value
 
     def run(self, until: int | None = None) -> None:
         """Run until the event heap drains or ``until`` is reached.
 
         When ``until`` is given, the clock is advanced to exactly
         ``until`` even if the last event fires earlier.
+
+        A process that *failed* (was killed by an interrupt, or yielded
+        a non-event) and was never joined re-raises its exception here
+        once the heap drains — silently lost workers would otherwise
+        let fault-injection tests pass vacuously.  Supervisors that
+        kill workers on purpose call :meth:`Process.defuse` first.
         """
         if until is not None and until < self._now:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
-        while self._heap:
+        while True:
+            self._prune_cancelled()
+            if not self._heap:
+                break
             if until is not None and self._heap[0][0] > until:
                 break
             self.step()
         if until is not None:
             self._now = max(self._now, until)
+        if not self._heap:
+            # Only at true end-of-run: with events still pending a
+            # joiner may yet observe the failure.
+            self._raise_unjoined_failures()
 
     def run_until_process(self, proc: Process, limit: int | None = None) -> Any:
         """Run until ``proc`` finishes; return its value.
@@ -427,7 +653,10 @@ class Simulator:
         :class:`SimulationError` is raised if the process is still alive
         when the heap drains or the limit is hit.
         """
-        while self._heap and not proc._fired:
+        while not proc._fired:
+            self._prune_cancelled()
+            if not self._heap:
+                break
             if limit is not None and self._heap[0][0] > limit:
                 raise SimulationError(
                     f"process {proc.name!r} did not finish before t={limit}"
@@ -438,5 +667,6 @@ class Simulator:
                 f"deadlock: process {proc.name!r} still waiting at t={self._now}"
             )
         if not proc.ok:
+            proc._defused = True
             raise proc.value
         return proc.value

@@ -24,9 +24,25 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
-from .sim import Event, SimulationError, Simulator
+from .sim import Event, SimulationError, Simulator, Timeout
 
-__all__ = ["Burst", "END_OF_STREAM", "Stream", "StreamStats"]
+__all__ = ["Burst", "END_OF_STREAM", "Stream", "StreamStats", "StreamTimeout"]
+
+
+class StreamTimeout(SimulationError):
+    """Raised into a process whose bounded stream wait expired.
+
+    ``side`` is ``"consumer"`` (a ``get`` that found no item in time)
+    or ``"producer"`` (a ``put`` that found no space in time).
+    """
+
+    def __init__(self, stream: str, side: str, timeout_ps: int) -> None:
+        super().__init__(
+            f"{side} wait on stream {stream!r} timed out after {timeout_ps} ps"
+        )
+        self.stream = stream
+        self.side = side
+        self.timeout_ps = timeout_ps
 
 
 class _EndOfStream:
@@ -108,6 +124,11 @@ class Stream:
         # duration can be accounted when they resolve.
         self._getters: deque[tuple[Event, int]] = deque()
         self._putters: deque[tuple[Event, Any, int]] = deque()
+        # Guard timers for bounded waits, disarmed when the wait
+        # resolves (kept out of the waiter's callback list so an
+        # interrupted waiter still counts as "sole waiter" and gets
+        # cancelled/unlinked).
+        self._guards: dict[Event, Event] = {}
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -122,13 +143,19 @@ class Stream:
         """True if a get would block."""
         return not self._queue
 
-    def put(self, item: Any) -> Event:
-        """Return an event that fires once ``item`` has been enqueued."""
+    def put(self, item: Any, timeout: int | None = None) -> Event:
+        """Return an event that fires once ``item`` has been enqueued.
+
+        With ``timeout`` (simulated time units), a put still blocked
+        after that long is abandoned: the item is *not* enqueued and
+        the event fails with :class:`StreamTimeout`.
+        """
         done = Event(self.sim)
         tracer = self.sim._tracer
-        if self._getters:
+        waiter = self._pop_getter()
+        if waiter is not None:
             # Hand the item straight to the longest-waiting consumer.
-            getter, since = self._getters.popleft()
+            getter, since = waiter
             getter.succeed(item)
             done.succeed()
             self._account_put(item)
@@ -150,6 +177,9 @@ class Stream:
         else:
             self.stats.producer_stall_events += 1
             self._putters.append((done, item, self.sim.now))
+            done.on_cancel(self._unlink_putter)
+            if timeout is not None:
+                self._arm_timeout(done, int(timeout), "producer")
             if tracer is not None:
                 tracer.stream_put(
                     self.name, self._count(item), len(self._queue),
@@ -157,8 +187,14 @@ class Stream:
                 )
         return done
 
-    def get(self) -> Event:
-        """Return an event that fires with the next item."""
+    def get(self, timeout: int | None = None) -> Event:
+        """Return an event that fires with the next item.
+
+        With ``timeout`` (simulated time units), a get still blocked
+        after that long is abandoned: the waiter is unlinked from the
+        stream (no later ``put`` can hand an item to it) and the event
+        fails with :class:`StreamTimeout`.
+        """
         got = Event(self.sim)
         tracer = self.sim._tracer
         if self._queue:
@@ -171,6 +207,9 @@ class Stream:
         else:
             self.stats.consumer_stall_events += 1
             self._getters.append((got, self.sim.now))
+            got.on_cancel(self._unlink_getter)
+            if timeout is not None:
+                self._arm_timeout(got, int(timeout), "consumer")
             if tracer is not None:
                 tracer.stream_get(self.name, blocked=True)
         return got
@@ -190,11 +229,68 @@ class Stream:
     def _count(item: Any) -> int:
         return item.count if isinstance(item, Burst) else 1
 
+    def _pop_getter(self) -> tuple[Event, int] | None:
+        """Next live blocked consumer (skipping abandoned waiters)."""
+        while self._getters:
+            getter, since = self._getters.popleft()
+            if not (getter._cancelled or getter._triggered):
+                self._disarm(getter)
+                return getter, since
+        return None
+
+    def _unlink_getter(self, event: Event) -> bool:
+        """Remove an abandoned blocked consumer from the wait queue."""
+        self._disarm(event)
+        for i, (getter, since) in enumerate(self._getters):
+            if getter is event:
+                del self._getters[i]
+                self._end_consumer_stall(since)
+                return True
+        return False
+
+    def _unlink_putter(self, event: Event) -> bool:
+        """Remove an abandoned blocked producer (its item is discarded)."""
+        self._disarm(event)
+        for i, (done, _item, since) in enumerate(self._putters):
+            if done is event:
+                del self._putters[i]
+                self._end_producer_stall(since)
+                return True
+        return False
+
+    def _disarm(self, waiter: Event) -> None:
+        timer = self._guards.pop(waiter, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _arm_timeout(self, waiter: Event, timeout_ps: int, side: str) -> None:
+        timer = Timeout(self.sim, timeout_ps)
+        self._guards[waiter] = timer
+
+        def _expire(_timer: Event) -> None:
+            self._guards.pop(waiter, None)
+            if waiter._triggered or waiter._cancelled:
+                return
+            if side == "consumer":
+                self._unlink_getter(waiter)
+            else:
+                self._unlink_putter(waiter)
+            tracer = self.sim._tracer
+            if tracer is not None:
+                tracer.stream_timeout(self.name, side, timeout_ps)
+            waiter.fail(StreamTimeout(self.name, side, timeout_ps))
+
+        timer.callbacks.append(_expire)
+
     def _drain_putters(self) -> None:
-        while self._putters and len(self._queue) < self.depth:
-            done, item, since = self._putters.popleft()
-            if self._getters:
-                getter, gsince = self._getters.popleft()
+        while len(self._queue) < self.depth:
+            entry = self._pop_putter()
+            if entry is None:
+                return
+            done, item, since = entry
+            waiter = self._pop_getter()
+            if waiter is not None:
+                getter, gsince = waiter
                 getter.succeed(item)
                 self._end_consumer_stall(gsince)
             else:
@@ -202,6 +298,15 @@ class Stream:
             done.succeed()
             self._account_put(item)
             self._end_producer_stall(since)
+
+    def _pop_putter(self) -> tuple[Event, Any, int] | None:
+        """Next live blocked producer (skipping abandoned waiters)."""
+        while self._putters:
+            done, item, since = self._putters.popleft()
+            if not (done._cancelled or done._triggered):
+                self._disarm(done)
+                return done, item, since
+        return None
 
     def _end_producer_stall(self, since: int) -> None:
         dur = self.sim.now - since

@@ -1,0 +1,181 @@
+"""Fault-injecting wrappers for the network resources.
+
+:class:`FaultyLink` and :class:`FaultyNodePort` are drop-in subclasses
+of :class:`~repro.network.link.SimLink` and
+:class:`~repro.network.fabric.NodePort` that consult a
+:class:`~repro.faults.plan.FaultPlan` on every transfer:
+
+* a **dropped** transfer still occupies the wire (the bytes left the
+  sender) but is never delivered — in ``"silent"`` mode the returned
+  event simply never fires (the realistic case, which is why callers
+  need timeouts), in ``"error"`` mode it fails with
+  :class:`TransferDropped` at the would-be delivery time (convenient
+  for tests);
+* a **latency spike** delays delivery by the plan's drawn magnitude;
+* a transfer to/from a node inside an outage window behaves like a
+  drop (``NodeDown`` in error mode).
+
+Every injection lands on the tracer's ``faults:{site}`` track as an
+instant event, so Chrome traces show exactly where the plan struck.
+"""
+
+from __future__ import annotations
+
+from ..core.sim import Event, SimulationError, Simulator
+from ..network.fabric import NodePort, SwitchedFabric
+from ..network.link import LinkModel, SimLink
+from .plan import FaultPlan
+
+__all__ = ["FaultyLink", "FaultyNodePort", "NodeDown", "TransferDropped"]
+
+
+class TransferDropped(SimulationError):
+    """An injected link fault swallowed this transfer."""
+
+    def __init__(self, site: str, nbytes: int) -> None:
+        super().__init__(f"transfer of {nbytes} bytes dropped on {site!r}")
+        self.site = site
+        self.nbytes = nbytes
+
+
+class NodeDown(SimulationError):
+    """The transfer touched a node inside an outage window."""
+
+    def __init__(self, node: int, at_ps: int) -> None:
+        super().__init__(f"node {node} is down at t={at_ps} ps")
+        self.node = node
+        self.at_ps = at_ps
+
+
+class FaultyLink(SimLink):
+    """A :class:`SimLink` whose transfers consult a :class:`FaultPlan`.
+
+    ``mode`` selects what a dropped transfer looks like to the caller:
+    ``"silent"`` (event never fires) or ``"error"`` (event fails with
+    :class:`TransferDropped` at delivery time).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        model: LinkModel,
+        plan: FaultPlan,
+        name: str | None = None,
+        mode: str = "silent",
+    ) -> None:
+        if mode not in ("silent", "error"):
+            raise ValueError(f"mode must be 'silent' or 'error', got {mode!r}")
+        super().__init__(sim, model, name)
+        self.plan = plan
+        self.mode = mode
+        self.drops = 0
+        self.spikes = 0
+
+    def transfer(self, nbytes: int, dst: object = None) -> Event:
+        base = super().transfer(nbytes, dst)
+        tracer = self.sim._tracer
+        if self.plan.drop(self.name):
+            self.drops += 1
+            if tracer is not None:
+                tracer.fault_injected("drop", self.name, nbytes=nbytes)
+            # The wire time was already spent; only delivery is lost.
+            out = Event(self.sim)
+            if self.mode == "error":
+                def _fail(ev: Event, out: Event = out) -> None:
+                    if not out._cancelled:
+                        out.fail(TransferDropped(self.name, ev.value))
+                base.callbacks.append(_fail)
+            return out
+        spike = self.plan.spike_delay_ps(self.name)
+        if spike:
+            self.spikes += 1
+            if tracer is not None:
+                tracer.fault_injected(
+                    "latency_spike", self.name, delay_ps=spike
+                )
+            out = Event(self.sim)
+
+            def _deliver(ev: Event, out: Event = out, spike: int = spike) -> None:
+                if not out._cancelled:
+                    out.succeed(ev.value, delay=spike)
+
+            base.callbacks.append(_deliver)
+            return out
+        return base
+
+
+class FaultyNodePort(NodePort):
+    """A :class:`NodePort` subject to the plan's drops, spikes, outages.
+
+    A send from a down node, or to a node that will be down at delivery
+    time, is treated as a drop.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: SwitchedFabric,
+        node: int,
+        plan: FaultPlan,
+        mode: str = "silent",
+    ) -> None:
+        if mode not in ("silent", "error"):
+            raise ValueError(f"mode must be 'silent' or 'error', got {mode!r}")
+        super().__init__(sim, fabric, node)
+        self.plan = plan
+        self.mode = mode
+        self.drops = 0
+        self.spikes = 0
+
+    @property
+    def site(self) -> str:
+        return f"node{self.node}.egress"
+
+    def send(self, dst: int, nbytes: int) -> Event:
+        base = super().send(dst, nbytes)
+        tracer = self.sim._tracer
+        down = None
+        if self.plan.node_down(self.node, self.sim.now):
+            down = self.node
+        elif self.plan.node_down(dst, self.sim.now):
+            down = dst
+        if down is not None:
+            self.drops += 1
+            if tracer is not None:
+                tracer.fault_injected("node_down", self.site, node=down)
+            out = Event(self.sim)
+            if self.mode == "error":
+                at = self.sim.now
+
+                def _fail(ev: Event, out: Event = out) -> None:
+                    if not out._cancelled:
+                        out.fail(NodeDown(down, at))
+
+                base.callbacks.append(_fail)
+            return out
+        if self.plan.drop(self.site):
+            self.drops += 1
+            if tracer is not None:
+                tracer.fault_injected("drop", self.site, nbytes=nbytes)
+            out = Event(self.sim)
+            if self.mode == "error":
+                def _fail(ev: Event, out: Event = out) -> None:
+                    if not out._cancelled:
+                        out.fail(TransferDropped(self.site, ev.value))
+
+                base.callbacks.append(_fail)
+            return out
+        spike = self.plan.spike_delay_ps(self.site)
+        if spike:
+            self.spikes += 1
+            if tracer is not None:
+                tracer.fault_injected("latency_spike", self.site, delay_ps=spike)
+            out = Event(self.sim)
+
+            def _deliver(ev: Event, out: Event = out, spike: int = spike) -> None:
+                if not out._cancelled:
+                    out.succeed(ev.value, delay=spike)
+
+            base.callbacks.append(_deliver)
+            return out
+        return base

@@ -108,7 +108,7 @@ class BankedMemory:
         with the least accumulated ``expected_traffic`` that still has
         capacity.  Raises ``MemoryError`` when nothing fits.
         """
-        if key in self._allocations:
+        if key in self._allocations or key in self._striped:
             raise ValueError(f"region {key!r} already allocated")
         if nbytes < 0:
             raise ValueError("region size must be >= 0")
@@ -147,7 +147,7 @@ class BankedMemory:
         ``{key}.s{j}`` and the whole group is addressable through
         :meth:`batch_lookup_time_ps` by the base ``key``.
         """
-        if key in self._striped:
+        if key in self._striped or key in self._allocations:
             raise ValueError(f"region {key!r} already allocated")
         if nbytes < 0:
             raise ValueError("region size must be >= 0")

@@ -158,6 +158,22 @@ class Tracer:
         """Called by ``Simulator.step`` for every event fired."""
         self.registry.counter("sim.events.fired").inc()
 
+    def sim_event_cancelled(self, event: Any) -> None:
+        """Called by ``Event.cancel`` for every abandoned wait/timer."""
+        self.registry.counter("sim.events.cancelled").inc()
+
+    def process_failed_unjoined(self, name: str, at_ps: int) -> None:
+        """A failed process nobody joined, surfaced at ``run()`` exit."""
+        self.registry.counter(
+            "sim.process.failed_unjoined", process=name
+        ).inc()
+        self.events.append(
+            TraceEvent(
+                f"unjoined-failure:{name}", "sim.failure", "i", at_ps,
+                f"process:{name}",
+            )
+        )
+
     def process_resumed(self, name: str, at_ps: int) -> None:
         """Called when a process generator is stepped."""
         self.registry.counter("sim.process.resumes", process=name).inc()
@@ -186,6 +202,16 @@ class Tracer:
         self.registry.counter("stream.gets", stream=stream).inc()
         if blocked:
             self.registry.counter("stream.get_blocked", stream=stream).inc()
+
+    def stream_timeout(self, stream: str, side: str, timeout_ps: int) -> None:
+        """A bounded stream wait expired and the waiter was unlinked."""
+        self.registry.counter(
+            "stream.timeouts", stream=stream, side=side
+        ).inc()
+        self.instant(
+            f"timeout:{side}", "stream.timeout", f"stream:{stream}",
+            timeout_ps=timeout_ps,
+        )
 
     def stream_stall(
         self, stream: str, side: str, start_ps: int, dur_ps: int
@@ -241,6 +267,45 @@ class Tracer:
         self.complete(
             "xfer", "link.busy", f"link:{link}", start_ps, dur_ps,
             nbytes=nbytes, dst=dst,
+        )
+
+    # -- fault-injection hooks ---------------------------------------------
+
+    def fault_injected(
+        self, kind: str, site: str, at_ps: int | None = None, **args: Any
+    ) -> None:
+        """An injected fault (drop / latency_spike / node_down / crash).
+
+        ``at_ps`` lets analytic (non-simulator) call sites timestamp
+        the instant explicitly; event-driven sites omit it and get the
+        bound clock.  Faults land as instant events on a per-site
+        ``faults:`` track so Chrome traces show them inline.
+        """
+        self.registry.counter("faults.injected", kind=kind, site=site).inc()
+        ts = at_ps if at_ps is not None else self.now_ps()
+        self.events.append(
+            TraceEvent(kind, "fault", "i", ts, f"faults:{site}", args=args)
+        )
+
+    def retry_attempted(
+        self, site: str, attempt: int, at_ps: int | None = None
+    ) -> None:
+        """A request attempt failed (drop/timeout) and will be retried."""
+        self.registry.counter("faults.retries", site=site).inc()
+        ts = at_ps if at_ps is not None else self.now_ps()
+        self.events.append(
+            TraceEvent(
+                f"retry#{attempt}", "fault.retry", "i", ts, f"faults:{site}",
+            )
+        )
+
+    def deadline_missed(self, site: str, at_ps: int | None = None) -> None:
+        """A request exhausted its retries or blew its deadline."""
+        self.registry.counter("faults.deadline_missed", site=site).inc()
+        ts = at_ps if at_ps is not None else self.now_ps()
+        self.events.append(
+            TraceEvent("deadline-missed", "fault.deadline", "i", ts,
+                       f"faults:{site}")
         )
 
     # -- memory hooks ------------------------------------------------------

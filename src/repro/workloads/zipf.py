@@ -37,6 +37,10 @@ class ZipfSampler:
         weights = ranks ** (-s)
         self._probs = weights / weights.sum()
         self._cdf = np.cumsum(self._probs)
+        # Float cumsum can leave cdf[-1] slightly below 1.0; a uniform
+        # draw landing in that gap would searchsorted to n — one past
+        # the last valid id.  Pin the top of the distribution.
+        self._cdf[-1] = 1.0
 
     @property
     def probabilities(self) -> np.ndarray:
@@ -48,7 +52,10 @@ class ZipfSampler:
         if size < 0:
             raise ValueError("size must be >= 0")
         u = self._rng.random(size)
-        return np.searchsorted(self._cdf, u).astype(np.int64)
+        idx = np.searchsorted(self._cdf, u)
+        # Clamp as a second line of defence (e.g. an rng returning
+        # exactly 1.0 would still land one past the end).
+        return np.minimum(idx, self.n - 1).astype(np.int64)
 
     def hot_set_fraction(self, top_k: int) -> float:
         """Probability mass carried by the ``top_k`` hottest ids."""

@@ -119,3 +119,64 @@ def test_runs_are_deterministic(spec):
     _, first = _run_program(spec)
     _, second = _run_program(spec)
     assert first == second
+
+
+# -- interrupt vs fired-event-yield interleavings --------------------------
+
+# A victim program is a list of steps; True = yield an already-fired
+# event (the immediate-resume path), False = yield a 1-unit timeout.
+_VICTIM_STEPS = st.lists(st.booleans(), min_size=1, max_size=8)
+_INTERRUPT_ROUND = st.integers(min_value=0, max_value=10)
+
+
+@given(_VICTIM_STEPS, _INTERRUPT_ROUND)
+@settings(max_examples=60, deadline=None)
+def test_interrupt_never_double_steps_a_fired_yield(steps, interrupt_round):
+    """Regression property for the stale-resume bug: whatever mix of
+    already-fired yields and timeouts the victim executes, an interrupt
+    delivered at an arbitrary point in the interleaving must step the
+    victim exactly once per resume.  The fired events are drained
+    through the heap up front so yielding them takes the
+    immediate-resume path, and the assassin advances in lockstep so its
+    interrupt can land in the window between a fired-event yield and
+    the queued immediate — the interleaving that used to double-step
+    the process and corrupt the engine ("event already triggered")."""
+    sim = Simulator()
+    log = []
+
+    def victim():
+        fired = {}
+        for i, use_fired in enumerate(steps):
+            if use_fired:
+                fired[i] = sim.event()
+                fired[i].succeed(i)
+        yield sim.timeout(1)  # let the pre-succeeded events fire
+        interrupted = 0
+        for i, use_fired in enumerate(steps):
+            try:
+                if use_fired:
+                    value = yield fired[i]
+                    assert value == i
+                else:
+                    yield sim.timeout(1)
+            except Interrupt:
+                interrupted += 1
+            log.append((sim.now, i))
+        return interrupted
+
+    def assassin(target):
+        for _ in range(interrupt_round + 1):  # +1 mirrors the warm-up
+            yield sim.timeout(1)
+        if target.is_alive:
+            target.interrupt("now")
+            log.append((sim.now, "interrupt"))
+
+    target = sim.spawn(victim(), name="victim")
+    sim.spawn(assassin(target), name="assassin")
+    sim.run()
+
+    step_hits = [entry[1] for entry in log if entry[1] != "interrupt"]
+    assert step_hits == list(range(len(steps))), "each step exactly once"
+    times = [entry[0] for entry in log]
+    assert times == sorted(times)
+    assert target.ok and target.value in (0, 1)

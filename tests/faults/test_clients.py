@@ -1,0 +1,172 @@
+"""Fault-aware client layers: Farview queries and KV batches."""
+
+import numpy as np
+import pytest
+
+from repro.farview.client import FarviewClient
+from repro.farview.server import FarviewServer
+from repro.faults import DeadlineExceeded, FaultPlan, RetryPolicy
+from repro.kvstore.hashtable import HashTable
+from repro.kvstore.server import SmartNicKvServer
+from repro.relational.expressions import col
+from repro.relational.operators import Filter, Project, QueryPlan
+from repro.relational.table import Table
+from repro.workloads.tables import uniform_table
+
+
+def _client(n_rows=5_000):
+    server = FarviewServer()
+    server.store("t", Table(uniform_table(n_rows, n_payload_cols=2, seed=1)))
+    return FarviewClient(server)
+
+
+def _plan():
+    return QueryPlan((
+        Filter(col("key") < 50_000),
+        Project(("key", "val0")),
+    ))
+
+
+# -- farview ---------------------------------------------------------------
+
+
+def test_offload_without_faults_is_unchanged():
+    client = _client()
+    out = client.query_offload(_plan(), "t")
+    assert out.breakdown["attempts"] == 1.0
+    assert out.breakdown["retries"] == 0.0
+    happy = (
+        out.breakdown["request_s"]
+        + out.breakdown["node_processing_s"]
+        + out.breakdown["response_latency_s"]
+    )
+    assert out.latency_s == pytest.approx(happy)
+
+
+def test_offload_clean_plan_matches_no_plan():
+    client = _client()
+    bare = client.query_offload(_plan(), "t")
+    clean = client.query_offload(_plan(), "t", faults=FaultPlan(seed=0))
+    assert clean.latency_s == pytest.approx(bare.latency_s)
+    assert clean.bytes_over_network == bare.bytes_over_network
+    assert np.array_equal(
+        clean.result.column("key"), bare.result.column("key")
+    )
+
+
+def test_offload_drops_inflate_latency_and_wire_bytes():
+    client = _client()
+    bare = client.query_offload(_plan(), "t")
+    policy = RetryPolicy(max_attempts=8, timeout_ps=2_000_000, jitter=0.0)
+    # High drop rate: find a seed whose first offload call retries.
+    faulty = client.query_offload(
+        _plan(), "t", faults=FaultPlan(seed=1, drop_rate=0.9), retry=policy
+    )
+    assert faulty.breakdown["retries"] >= 1.0
+    assert faulty.latency_s > bare.latency_s
+    assert faulty.bytes_over_network > bare.bytes_over_network
+    # Functional result is unaffected by the retries.
+    assert np.array_equal(
+        faulty.result.column("key"), bare.result.column("key")
+    )
+
+
+def test_fetch_retries_resend_the_whole_payload():
+    client = _client()
+    bare = client.query_fetch(_plan(), "t")
+    policy = RetryPolicy(max_attempts=8, timeout_ps=2_000_000, jitter=0.0)
+    faulty = client.query_fetch(
+        _plan(), "t", faults=FaultPlan(seed=1, drop_rate=0.9), retry=policy
+    )
+    attempts = int(faulty.breakdown["attempts"])
+    assert attempts >= 2
+    assert faulty.bytes_over_network == attempts * bare.bytes_over_network
+
+
+def test_certain_loss_exhausts_the_budget():
+    client = _client()
+    policy = RetryPolicy(max_attempts=3, timeout_ps=1_000_000, jitter=0.0)
+    with pytest.raises(DeadlineExceeded) as info:
+        client.query_offload(
+            _plan(), "t", faults=FaultPlan(seed=0, drop_rate=1.0),
+            retry=policy,
+        )
+    assert info.value.site == "farview.offload"
+
+
+def test_tight_deadline_raises():
+    client = _client()
+    with pytest.raises(DeadlineExceeded):
+        client.query_offload(
+            _plan(), "t", faults=FaultPlan(seed=0), deadline_s=1e-12
+        )
+
+
+# -- kvstore ---------------------------------------------------------------
+
+
+def _kv_ops(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    ops = []
+    for i in range(n):
+        key = int(rng.integers(0, 100))
+        if i % 3 == 0:
+            ops.append(("put", key, int(rng.integers(0, 1000))))
+        else:
+            ops.append(("get", key, 0))
+    return ops
+
+
+def test_kv_clean_plan_matches_base_timing():
+    ops = _kv_ops()
+    # Serving is stateful (puts mutate the table), so compare against a
+    # fresh server running the same batch.
+    out = SmartNicKvServer(HashTable(1024, 8)).serve_with_faults(
+        ops, FaultPlan(seed=0)
+    )
+    assert out.base.values == SmartNicKvServer(HashTable(1024, 8)).serve(ops).values
+    assert out.retries == 0 and out.deadline_misses == 0
+    assert out.p50_s == pytest.approx(out.base.op_latency_s)
+    assert out.goodput_ops_per_sec == pytest.approx(out.base.ops_per_sec)
+
+
+def test_kv_drops_raise_tail_latency_and_cut_goodput():
+    server = SmartNicKvServer(HashTable(1024, 8))
+    ops = _kv_ops()
+    policy = RetryPolicy(max_attempts=4, timeout_ps=20_000_000, jitter=0.0)
+    clean = server.serve_with_faults(ops, FaultPlan(seed=3), retry=policy)
+    faulty = server.serve_with_faults(
+        ops, FaultPlan(seed=3, drop_rate=0.05), retry=policy
+    )
+    assert faulty.retries > 0
+    assert faulty.p99_s > clean.p99_s
+    assert faulty.goodput_ops_per_sec < clean.goodput_ops_per_sec
+    # The median op is still clean at a 5% drop rate.
+    assert faulty.p50_s == pytest.approx(clean.p50_s)
+
+
+def test_kv_certain_loss_censors_every_op():
+    server = SmartNicKvServer(HashTable(1024, 8))
+    ops = _kv_ops(50)
+    policy = RetryPolicy(max_attempts=2, timeout_ps=10_000_000, jitter=0.0)
+    deadline = 1e-3
+    out = server.serve_with_faults(
+        ops, FaultPlan(seed=0, drop_rate=1.0), retry=policy,
+        deadline_s=deadline,
+    )
+    assert out.deadline_misses == len(ops)
+    assert out.goodput_ops_per_sec == 0.0
+    assert all(lat == deadline for lat in out.op_latencies_s)
+
+
+def test_kv_faulty_batch_is_deterministic():
+    server = SmartNicKvServer(HashTable(1024, 8))
+    ops = _kv_ops()
+
+    def run():
+        out = server.serve_with_faults(
+            ops, FaultPlan(seed=7, drop_rate=0.1, spike_rate=0.05)
+        )
+        return out.op_latencies_s, out.retries, out.deadline_misses
+
+    assert run() == run()

@@ -1,0 +1,60 @@
+"""Satellite: deterministic replay of the fault experiment (e22).
+
+The acceptance bar for the fault layer is that a seeded
+:class:`~repro.faults.plan.FaultPlan` reproduces the *same* fault
+schedule on replay, and that the whole e22 experiment — event-driven
+Farview scans plus the resilient allreduce — renders byte-identical
+tables across two runs in one process.
+"""
+
+import importlib.util
+import sys
+from functools import lru_cache
+from pathlib import Path
+
+from repro.faults import FaultPlan, NodeOutage
+
+_BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+@lru_cache(maxsize=None)
+def _bench_e22():
+    if str(_BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(_BENCH_DIR))
+    spec = importlib.util.spec_from_file_location(
+        "bench_e22_fault_tolerance", _BENCH_DIR / "bench_e22_fault_tolerance.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_fault_schedule_replays_identically():
+    plan = FaultPlan(
+        seed=42, drop_rate=0.1, spike_rate=0.05,
+        outages=(NodeOutage(node=1, down_at_ps=100),),
+    )
+    sites = ("link.a", "link.b", "node0.egress")
+    first = [
+        (site, plan.drop(site), plan.spike_delay_ps(site))
+        for _ in range(200) for site in sites
+    ]
+    second = [
+        (site, plan.drop(site), plan.spike_delay_ps(site))
+        for _ in range(200) for site in sites
+    ]
+    assert first != second, "streams must advance within a run"
+    replayed = plan.replay()
+    assert replayed.outages == plan.outages
+    again = [
+        (site, replayed.drop(site), replayed.spike_delay_ps(site))
+        for _ in range(200) for site in sites
+    ]
+    assert again == first
+
+
+def test_e22_rows_are_identical_across_runs():
+    bench = _bench_e22()
+    first = bench._run_fault_tolerance().render()
+    second = bench._run_fault_tolerance().render()
+    assert first == second

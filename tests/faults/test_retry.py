@@ -1,0 +1,215 @@
+"""RetryPolicy, the event-driven retry loop, and the analytic variant."""
+
+import random
+
+import pytest
+
+from repro.core import Event, Simulator
+from repro.faults import (
+    DeadlineExceeded,
+    FaultPlan,
+    FaultyLink,
+    RetryPolicy,
+    analytic_retries,
+    call_with_retries,
+)
+from repro.network.link import ethernet_100g
+
+
+# -- RetryPolicy ----------------------------------------------------------
+
+
+def test_backoff_grows_exponentially_without_jitter():
+    policy = RetryPolicy(
+        backoff_base_ps=1000, backoff_multiplier=2.0, jitter=0.0
+    )
+    rng = random.Random(0)
+    assert policy.backoff_ps(1, rng) == 1000
+    assert policy.backoff_ps(2, rng) == 2000
+    assert policy.backoff_ps(3, rng) == 4000
+
+
+def test_backoff_jitter_stays_within_band():
+    policy = RetryPolicy(
+        backoff_base_ps=10_000, backoff_multiplier=1.0, jitter=0.25
+    )
+    rng = random.Random(7)
+    for _ in range(100):
+        b = policy.backoff_ps(1, rng)
+        assert 7_500 <= b <= 12_500
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(timeout_ps=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy().backoff_ps(0, random.Random(0))
+
+
+# -- call_with_retries (event-driven) -------------------------------------
+
+
+def _run_call(sim, make_attempt, policy, deadline_ps=None):
+    results = []
+
+    def proc():
+        out = yield from call_with_retries(
+            sim, make_attempt, policy, random.Random(1),
+            deadline_ps=deadline_ps, site="t",
+        )
+        results.append(out)
+
+    sim.spawn(proc())
+    sim.run()
+    return results[0]
+
+
+def test_first_attempt_success_has_no_retries():
+    sim = Simulator()
+
+    def attempt():
+        yield sim.timeout(5)
+        return "value"
+
+    out = _run_call(sim, attempt, RetryPolicy(max_attempts=3))
+    assert out.ok and out.value == "value"
+    assert out.attempts == 1 and out.retries == 0
+    assert out.latency_ps == 5
+
+
+def test_timed_out_attempts_are_retried_and_cleaned_up():
+    sim = Simulator()
+    launches = []
+
+    def attempt():
+        launches.append(sim.now)
+        if len(launches) < 3:
+            yield Event(sim)  # hangs; only the timeout saves us
+        else:
+            yield sim.timeout(5)
+        return "finally"
+
+    policy = RetryPolicy(
+        max_attempts=4, timeout_ps=100, backoff_base_ps=10, jitter=0.0
+    )
+    out = _run_call(sim, attempt, policy)
+    assert out.ok and out.value == "finally"
+    assert out.attempts == 3 and out.retries == 2
+    assert len(launches) == 3
+    # run() finishing proves the killed attempts were defused
+    # (an unjoined interrupt-kill would have raised at exit).
+
+
+def test_exhausted_attempts_give_up():
+    sim = Simulator()
+
+    def attempt():
+        yield Event(sim)  # never completes
+
+    policy = RetryPolicy(
+        max_attempts=2, timeout_ps=100, backoff_base_ps=10, jitter=0.0
+    )
+    out = _run_call(sim, attempt, policy)
+    assert not out.ok and out.value is None
+    assert out.attempts == 2 and out.retries == 1
+
+
+def test_deadline_cuts_the_attempt_budget():
+    sim = Simulator()
+
+    def attempt():
+        yield Event(sim)
+
+    policy = RetryPolicy(
+        max_attempts=100, timeout_ps=100, backoff_base_ps=0, jitter=0.0
+    )
+    out = _run_call(sim, attempt, policy, deadline_ps=250)
+    assert not out.ok and out.deadline_missed
+    assert out.attempts == 3  # 100 + 100 + clamped 50
+    assert out.latency_ps <= 250
+
+
+def test_failed_attempts_are_retried_on_simulation_errors():
+    sim = Simulator()
+    plan = FaultPlan(seed=0, drop_rate=1.0)
+    link = FaultyLink(sim, ethernet_100g(), plan, name="l", mode="error")
+
+    def attempt():
+        value = yield link.transfer(64)
+        return value
+
+    policy = RetryPolicy(
+        max_attempts=3, timeout_ps=None, backoff_base_ps=10, jitter=0.0
+    )
+    out = _run_call(sim, attempt, policy)
+    assert not out.ok
+    assert out.attempts == 3 and out.retries == 2
+    assert link.drops == 3
+
+
+def test_non_retryable_exceptions_propagate():
+    sim = Simulator()
+
+    def attempt():
+        yield sim.timeout(1)
+        raise KeyError("not a fault")
+
+    def proc():
+        yield from call_with_retries(
+            sim, attempt, RetryPolicy(timeout_ps=None), random.Random(0)
+        )
+
+    sim.spawn(proc())
+    with pytest.raises(KeyError):
+        sim.run()
+
+
+# -- analytic_retries -----------------------------------------------------
+
+
+def test_analytic_happy_path_is_free():
+    assert analytic_retries("s", 0.5, None, RetryPolicy()) == (0.5, 1, 0)
+
+
+def test_analytic_clean_plan_matches_base_latency():
+    plan = FaultPlan(seed=0)
+    latency, attempts, retries = analytic_retries(
+        "s", 0.5, plan, RetryPolicy()
+    )
+    assert latency == 0.5 and attempts == 1 and retries == 0
+
+
+def test_analytic_drops_add_timeout_and_backoff():
+    plan = FaultPlan(seed=0, drop_rate=1.0)
+    policy = RetryPolicy(
+        max_attempts=3, timeout_ps=1_000_000, backoff_base_ps=0, jitter=0.0
+    )
+    with pytest.raises(DeadlineExceeded):
+        analytic_retries("s", 0.5, plan, policy)
+
+
+def test_analytic_deadline_enforced():
+    plan = FaultPlan(seed=0, drop_rate=0.0)
+    with pytest.raises(DeadlineExceeded):
+        analytic_retries("s", 2.0, plan, RetryPolicy(), deadline_s=1.0)
+
+
+def test_analytic_is_deterministic():
+    def run():
+        plan = FaultPlan(seed=5, drop_rate=0.4, spike_rate=0.2)
+        policy = RetryPolicy(max_attempts=5, timeout_ps=3_000_000)
+        rows = []
+        for _ in range(50):
+            try:
+                rows.append(analytic_retries("s", 1e-6, plan, policy))
+            except DeadlineExceeded:
+                rows.append(("gave-up",))
+        return rows
+
+    assert run() == run()

@@ -199,3 +199,36 @@ def test_property_used_bytes_tracks_allocations(sizes):
     for i, size in enumerate(sizes):
         bank.allocate(f"r{i}", nbytes=size)
     assert bank.used_bytes == sum(sizes)
+
+
+def test_plain_and_striped_namespaces_are_exclusive():
+    """Regression: allocate(key) then allocate_striped(key) both used to
+    succeed, and free(key) then released only the shards — leaking the
+    plain allocation forever."""
+    bank = BankedMemory.uniform(_small_channel(capacity=10_000), 4)
+    bank.allocate("emb", nbytes=100)
+    with pytest.raises(ValueError, match="already allocated"):
+        bank.allocate_striped("emb", nbytes=400)
+    bank.free("emb")
+
+    bank.allocate_striped("emb", nbytes=400, n_shards=4)
+    with pytest.raises(ValueError, match="already allocated"):
+        bank.allocate("emb", nbytes=100)
+    bank.free("emb")
+    assert bank.used_bytes == 0
+
+
+def test_free_is_symmetric_across_both_namespaces():
+    """Every allocate/allocate_striped must be fully undone by one free."""
+    bank = BankedMemory.uniform(_small_channel(capacity=10_000), 4)
+    bank.allocate("plain", nbytes=300)
+    bank.allocate_striped("striped", nbytes=800, n_shards=4)
+    assert bank.used_bytes == 300 + 800
+    bank.free("striped")
+    assert bank.used_bytes == 300
+    bank.free("plain")
+    assert bank.used_bytes == 0
+    assert bank.channel_load_bytes() == [0, 0, 0, 0]
+    # Both names are reusable after free, in either namespace.
+    bank.allocate_striped("plain", nbytes=400, n_shards=2)
+    bank.allocate("striped", nbytes=100)

@@ -62,3 +62,29 @@ def test_invalid_parameters():
         ZipfSampler(10, -0.1, rng)
     with pytest.raises(ValueError):
         _sampler().sample(-1)
+
+
+def test_draws_above_cdf_top_stay_in_range():
+    """Regression: float cumsum can leave cdf[-1] < 1.0; a uniform draw
+    landing in the gap used to searchsorted to n — one past the last id."""
+    sampler = _sampler(n=1000, s=0.99)
+    # Simulate the cumsum undershoot explicitly, then draw above it.
+    sampler._cdf = sampler._cdf.copy()
+    sampler._cdf[-1] = 1.0 - 1e-9
+
+    class _HighRng:
+        def random(self, size):
+            return np.full(size, np.nextafter(1.0, 0.0))
+
+    sampler._rng = _HighRng()
+    ids = sampler.sample(64)
+    assert (ids >= 0).all()
+    assert (ids < sampler.n).all()
+    assert (ids == sampler.n - 1).all()
+
+
+def test_cdf_top_is_pinned_to_one():
+    """The constructor must not leave a probability gap above cdf[-1]."""
+    for n, s in ((10, 0.0), (1000, 0.99), (100_000, 1.2)):
+        sampler = _sampler(n=n, s=s)
+        assert sampler._cdf[-1] == 1.0
