@@ -4,70 +4,34 @@
 FPGA cluster: the tree grows ~log P for small payloads; the ring stays
 near-flat for large payloads (bandwidth-optimal).
 (b) The ring/tree crossover moves with payload size.
+
+The per-cell logic and table assembly live in
+``repro.exec.experiments`` so ``repro run e11 --parallel N`` executes
+the exact same code this bench does.
 """
 
-import numpy as np
 import pytest
 
-from repro.accl import FpgaCluster
 from repro.bench import ResultTable
-
-_SMALL_FLOATS = 1 << 7    # 1 KiB per node
-_LARGE_FLOATS = 1 << 20   # 8 MiB per node
-
-
-def _buffers(p: int, n_floats: int, seed: int = 0) -> list[np.ndarray]:
-    rng = np.random.default_rng(seed)
-    # Keep sizes divisible by every cluster size in the sweep.
-    return [rng.random(n_floats) for _ in range(p)]
+from repro.exec.experiments import (
+    _E11_CROSSOVER_SIZES,
+    _E11_NODES,
+    e11_assemble,
+    e11_cell,
+)
 
 
 def _run_scaling() -> ResultTable:
-    report = ResultTable(
-        "E11a: allreduce time vs cluster size (FPGA cluster)",
-        ("nodes", "tree small us", "ring small us",
-         "tree 8MiB us", "ring 8MiB us"),
-    )
-    ring_large_series = []
-    tree_small_series = []
-    for p in (2, 4, 8, 16, 32):
-        cluster = FpgaCluster(p)
-        small = _buffers(p, _SMALL_FLOATS)
-        large = _buffers(p, _LARGE_FLOATS)
-        t_tree_small = cluster.allreduce(small, algorithm="tree").time_s
-        t_ring_small = cluster.allreduce(small, algorithm="ring").time_s
-        t_tree_large = cluster.allreduce(large, algorithm="tree").time_s
-        t_ring_large = cluster.allreduce(large, algorithm="ring").time_s
-        tree_small_series.append(t_tree_small)
-        ring_large_series.append(t_ring_large)
-        report.add(p, t_tree_small * 1e6, t_ring_small * 1e6,
-                   t_tree_large * 1e6, t_ring_large * 1e6)
-    # Tree latency grows with log P.
-    assert tree_small_series == sorted(tree_small_series)
-    # Ring bandwidth time is near-flat: 32 nodes < 2.5x the 2-node time.
-    assert ring_large_series[-1] < 2.5 * ring_large_series[0]
-    return report
+    rows = [e11_cell({"kind": "scaling", "p": p}) for p in _E11_NODES]
+    return e11_assemble(rows)[0]
 
 
 def _run_crossover() -> ResultTable:
-    p = 16
-    cluster = FpgaCluster(p)
-    report = ResultTable(
-        "E11b: ring vs tree crossover (16 nodes)",
-        ("floats/node", "ring us", "tree us", "winner"),
-    )
-    winners = []
-    for n_floats in (16, 1 << 10, 1 << 14, 1 << 18, 1 << 21):
-        buffers = _buffers(p, n_floats)
-        ring = cluster.allreduce(buffers, algorithm="ring")
-        tree = cluster.allreduce(buffers, algorithm="tree")
-        assert np.allclose(ring.buffers[0], tree.buffers[0])
-        winner = "ring" if ring.time_s < tree.time_s else "tree"
-        winners.append(winner)
-        report.add(n_floats, ring.time_s * 1e6, tree.time_s * 1e6, winner)
-    assert winners[0] == "tree" and winners[-1] == "ring", \
-        "crossover between small and large payloads"
-    return report
+    rows = [
+        e11_cell({"kind": "crossover", "n_floats": n})
+        for n in _E11_CROSSOVER_SIZES
+    ]
+    return e11_assemble(rows)[1]
 
 
 def test_e11_scaling(benchmark):

@@ -5,53 +5,25 @@ over an nprobe sweep; we record recall@10, QPS and latency on both
 sides.  Shape claims: recall rises monotonically with nprobe; the FPGA
 holds an order-of-magnitude latency advantage across the sweep; both
 QPS curves fall as nprobe buys recall.
+
+The per-nprobe cells and the table assembly live in
+``repro.exec.experiments`` so ``repro run e5 --parallel N`` executes
+the exact same code this bench does.
 """
 
 import pytest
 
 from conftest import FANNS_LIST_SCALE
 from repro.bench import ResultTable
-from repro.fanns import (
-    CpuAnnSearcher,
-    FannsAccelerator,
-    GpuAnnSearcher,
-    recall_at_k,
-)
-
-_NPROBES = (1, 2, 4, 8, 16, 32)
-_K = 10
+from repro.exec.experiments import _E5_NPROBES, e5_assemble, e5_cell
 
 
 def _run_sweep(index, data) -> ResultTable:
-    accel = FannsAccelerator(index, list_scale=FANNS_LIST_SCALE)
-    cpu = CpuAnnSearcher(index, list_scale=FANNS_LIST_SCALE)
-    gpu = GpuAnnSearcher(index, list_scale=FANNS_LIST_SCALE)
-    report = ResultTable(
-        "E5: QPS vs recall@10 (FPGA vs CPU vs GPU, modeled 40M vectors)",
-        ("nprobe", "recall@10", "FPGA QPS", "CPU QPS", "GPU QPS",
-         "FPGA lat us", "CPU lat us", "GPU lat us"),
-    )
-    recalls, latency_gains = [], []
-    for nprobe in _NPROBES:
-        f = accel.search(data.queries, _K, nprobe)
-        c = cpu.search(data.queries, _K, nprobe)
-        g = gpu.search(data.queries, _K, nprobe)
-        assert (f.ids == c.ids).all(), "engines must agree exactly"
-        assert (f.ids == g.ids).all()
-        recall = recall_at_k(f.ids, data.ground_truth)
-        recalls.append(recall)
-        latency_gains.append(c.query_latency_s / f.query_latency_s)
-        report.add(
-            nprobe, round(recall, 3), f.qps, c.qps, g.qps,
-            f.query_latency_s * 1e6, c.query_latency_s * 1e6,
-            g.query_latency_s * 1e6,
-        )
-        # The SLA triangle: FPGA holds the latency edge over both.
-        assert f.query_latency_s < g.query_latency_s
-    assert recalls == sorted(recalls), "recall monotone in nprobe"
-    assert recalls[-1] > 0.85, "high-recall regime reachable"
-    assert min(latency_gains) > 5, "FPGA latency advantage holds"
-    return report
+    rows = [
+        e5_cell(index, data, nprobe, list_scale=FANNS_LIST_SCALE)
+        for nprobe in _E5_NPROBES
+    ]
+    return e5_assemble(rows)[0]
 
 
 def test_e5_qps_recall(benchmark, ivfpq_index, vector_data):

@@ -61,6 +61,8 @@ _EXPERIMENTS: dict[str, tuple[str, str]] = {
             "bench_e21_business_rules.py"),
     "e22": ("fault tolerance: tail latency under injected faults",
             "bench_e22_fault_tolerance.py"),
+    "e23": ("simulator performance: engine, fast-forward, sweeps",
+            "bench_e23_sim_perf.py"),
 }
 
 _INVENTORY = [
@@ -77,6 +79,7 @@ _INVENTORY = [
     ("repro.lsm", "LSM store + compaction offload (X-Engine)"),
     ("repro.kvstore", "smart-NIC key-value store (KV-Direct)"),
     ("repro.faults", "fault injection, timeouts, retry/recovery"),
+    ("repro.exec", "parallel sweep runner, result cache"),
     ("repro.workloads", "synthetic workload generators"),
 ]
 
@@ -96,11 +99,60 @@ def _cmd_experiments() -> int:
     return 0
 
 
+def _cmd_run_sweep(
+    ids: list[str],
+    parallel: int,
+    no_cache: bool,
+    faults: float | None,
+) -> int:
+    """Run sweepable experiments through :mod:`repro.exec` directly."""
+    from .exec import ResultCache, SweepRunner, build_spec
+
+    if faults is not None:
+        os.environ["REPRO_FAULT_RATE"] = repr(faults)
+    cache = None if no_cache else ResultCache()
+    for exp_id in ids:
+        runner = SweepRunner(build_spec(exp_id), parallel=parallel,
+                             cache=cache)
+        result = runner.run()
+        for table in result.tables:
+            table.show()
+        print(f"[{exp_id}] {result.cells} cells: {result.hits} cached, "
+              f"{result.computed} computed ({parallel} worker"
+              f"{'s' if parallel != 1 else ''})")
+    return 0
+
+
 def _cmd_run(
     ids: list[str],
     trace: str | None = None,
     faults: float | None = None,
+    parallel: int = 1,
+    no_cache: bool = False,
 ) -> int:
+    if faults is not None and not 0.0 <= faults <= 1.0:
+        print(f"error: --faults must be in [0, 1], got {faults}",
+              file=sys.stderr)
+        return 2
+    if parallel < 1:
+        print(f"error: --parallel must be >= 1, got {parallel}",
+              file=sys.stderr)
+        return 2
+    from .exec import SWEEPABLE
+
+    keys = [exp_id.lower() for exp_id in ids]
+    if (parallel > 1 or no_cache) and all(k in SWEEPABLE for k in keys):
+        # The sweep path can't record traces (workers are separate
+        # processes); fall through to pytest when --trace is given.
+        if trace is None:
+            return _cmd_run_sweep(keys, parallel, no_cache, faults)
+        print("note: --trace forces the serial pytest path",
+              file=sys.stderr)
+    elif parallel > 1:
+        not_sweepable = [k for k in keys if k not in SWEEPABLE]
+        print(f"note: {', '.join(not_sweepable)} not sweepable "
+              f"(sweepable: {', '.join(SWEEPABLE)}); running serially "
+              "via pytest", file=sys.stderr)
     bench_dir = Path("benchmarks")
     if not bench_dir.is_dir():
         print("error: benchmarks/ not found — run from the repository root",
@@ -124,10 +176,6 @@ def _cmd_run(
         # sees this variable and exports the Chrome trace on teardown.
         env["REPRO_TRACE"] = str(Path(trace).resolve())
     if faults is not None:
-        if not 0.0 <= faults <= 1.0:
-            print(f"error: --faults must be in [0, 1], got {faults}",
-                  file=sys.stderr)
-            return 2
         # Fault-aware benches (e22) sweep {0, faults} instead of their
         # default rate ladder.
         env["REPRO_FAULT_RATE"] = repr(faults)
@@ -158,13 +206,24 @@ def main(argv: list[str] | None = None) -> int:
         help="inject faults at this rate (0..1) in fault-aware "
              "experiments (e22), e.g. --faults 0.01",
     )
+    run.add_argument(
+        "--parallel", metavar="N", type=int, default=1,
+        help="fan the experiment's config grid over N worker processes "
+             "(sweepable experiments: e5, e11, e22)",
+    )
+    run.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every sweep cell instead of reading "
+             "results/cache/",
+    )
     args = parser.parse_args(argv)
     if args.command == "info":
         return _cmd_info()
     if args.command == "experiments":
         return _cmd_experiments()
     if args.command == "run":
-        return _cmd_run(args.ids, trace=args.trace, faults=args.faults)
+        return _cmd_run(args.ids, trace=args.trace, faults=args.faults,
+                        parallel=args.parallel, no_cache=args.no_cache)
     parser.print_help()
     return 0
 

@@ -150,26 +150,36 @@ class BurstKernel:
         self.busy_ps = 0
         self.stall_in_ps = 0
         self.stall_out_ps = 0
+        self._first = True
+        sim._pipeline_components.append(self)
+        sim._fastpath_attempted = False
         self.process = sim.spawn(self._run(), name=spec.name)
 
     def _run(self):
-        name = self.spec.name
-        first = True
+        sim = self.sim
+        spec = self.spec
+        inp, out = self.inp, self.out
+        name = spec.name
         while True:
-            tracer = self.sim._tracer
-            wait_start = self.sim.now
-            burst = yield self.inp.get()
-            stalled = self.sim.now - wait_start
-            self.stall_in_ps += stalled
-            if tracer is not None and stalled:
-                tracer.kernel_stall(name, wait_start, stalled, "input")
-            if burst is END_OF_STREAM:
-                put_start = self.sim.now
-                yield self.out.put(END_OF_STREAM)
-                stalled = self.sim.now - put_start
-                self.stall_out_ps += stalled
+            tracer = sim._tracer
+            # Uncontended fast path: take/emit without allocating wait
+            # events; fall back to the blocking path on contention.
+            ok, burst = inp.try_get()
+            if not ok:
+                wait_start = sim.now
+                burst = yield inp.get()
+                stalled = sim.now - wait_start
+                self.stall_in_ps += stalled
                 if tracer is not None and stalled:
-                    tracer.kernel_stall(name, put_start, stalled, "output")
+                    tracer.kernel_stall(name, wait_start, stalled, "input")
+            if burst is END_OF_STREAM:
+                if not out.try_put(END_OF_STREAM):
+                    put_start = sim.now
+                    yield out.put(END_OF_STREAM)
+                    stalled = sim.now - put_start
+                    self.stall_out_ps += stalled
+                    if tracer is not None and stalled:
+                        tracer.kernel_stall(name, put_start, stalled, "output")
                 return
             if not isinstance(burst, Burst):
                 raise TypeError(
@@ -177,30 +187,31 @@ class BurstKernel:
                     f"{type(burst).__name__}"
                 )
             self.items_in += burst.count
-            if first:
+            if self._first:
                 # The first burst pays the full HLS latency (pipeline fill
                 # included); later bursts only pay initiation occupancy.
-                cycles = self.spec.latency_cycles(burst.count)
-                first = False
+                cycles = spec.latency_cycles(burst.count)
+                self._first = False
             else:
-                cycles = self.spec.occupancy_cycles(burst.count)
-            delay = self.spec.clock.cycles_to_ps(cycles)
+                cycles = spec.occupancy_cycles(burst.count)
+            delay = spec.clock.cycles_to_ps(cycles)
             self.busy_ps += delay
-            busy_start = self.sim.now
+            busy_start = sim.now
             if delay:
-                yield self.sim.timeout(delay)
+                yield sim.delay(delay)
             if tracer is not None:
                 tracer.kernel_busy(name, busy_start, delay, burst.count)
             result = self.fn(burst)
             if result is None:
                 continue
             self.items_out += result.count
-            put_start = self.sim.now
-            yield self.out.put(result)
-            stalled = self.sim.now - put_start
-            self.stall_out_ps += stalled
-            if tracer is not None and stalled:
-                tracer.kernel_stall(name, put_start, stalled, "output")
+            if not out.try_put(result):
+                put_start = sim.now
+                yield out.put(result)
+                stalled = sim.now - put_start
+                self.stall_out_ps += stalled
+                if tracer is not None and stalled:
+                    tracer.kernel_stall(name, put_start, stalled, "output")
 
 
 class ItemKernel:
@@ -232,53 +243,62 @@ class ItemKernel:
         self.busy_ps = 0
         self.stall_in_ps = 0
         self.stall_out_ps = 0
+        self._first = True
+        sim._pipeline_components.append(self)
+        sim._fastpath_attempted = False
         self.process = sim.spawn(self._run(), name=spec.name)
 
     def _run(self):
-        clock = self.spec.clock
-        name = self.spec.name
+        sim = self.sim
+        spec = self.spec
+        inp, out = self.inp, self.out
+        clock = spec.clock
+        name = spec.name
         # Model: input accepted every II cycles; the matching output is
         # emitted depth cycles later.  We approximate the skid with a
         # one-shot depth delay before the first emission (equivalent in
         # total cycles for a full stream).
-        first = True
         while True:
-            tracer = self.sim._tracer
-            wait_start = self.sim.now
-            item = yield self.inp.get()
-            stalled = self.sim.now - wait_start
-            self.stall_in_ps += stalled
-            if tracer is not None and stalled:
-                tracer.kernel_stall(name, wait_start, stalled, "input")
-            if item is END_OF_STREAM:
-                put_start = self.sim.now
-                yield self.out.put(END_OF_STREAM)
-                stalled = self.sim.now - put_start
-                self.stall_out_ps += stalled
+            tracer = sim._tracer
+            ok, item = inp.try_get()
+            if not ok:
+                wait_start = sim.now
+                item = yield inp.get()
+                stalled = sim.now - wait_start
+                self.stall_in_ps += stalled
                 if tracer is not None and stalled:
-                    tracer.kernel_stall(name, put_start, stalled, "output")
+                    tracer.kernel_stall(name, wait_start, stalled, "input")
+            if item is END_OF_STREAM:
+                if not out.try_put(END_OF_STREAM):
+                    put_start = sim.now
+                    yield out.put(END_OF_STREAM)
+                    stalled = sim.now - put_start
+                    self.stall_out_ps += stalled
+                    if tracer is not None and stalled:
+                        tracer.kernel_stall(name, put_start, stalled, "output")
                 return
             self.items_in += 1
-            cycles = self.spec.ii
-            if first:
-                cycles += self.spec.depth - self.spec.ii
-                first = False
+            cycles = spec.ii
+            if self._first:
+                cycles += spec.depth - spec.ii
+                self._first = False
             delay = clock.cycles_to_ps(cycles)
             self.busy_ps += delay
-            busy_start = self.sim.now
-            yield self.sim.timeout(delay)
+            busy_start = sim.now
+            yield sim.delay(delay)
             if tracer is not None:
                 tracer.kernel_busy(name, busy_start, delay, 1)
             result = self.fn(item)
             if result is None:
                 continue
             self.items_out += 1
-            put_start = self.sim.now
-            yield self.out.put(result)
-            stalled = self.sim.now - put_start
-            self.stall_out_ps += stalled
-            if tracer is not None and stalled:
-                tracer.kernel_stall(name, put_start, stalled, "output")
+            if not out.try_put(result):
+                put_start = sim.now
+                yield out.put(result)
+                stalled = sim.now - put_start
+                self.stall_out_ps += stalled
+                if tracer is not None and stalled:
+                    tracer.kernel_stall(name, put_start, stalled, "output")
 
 
 class Source:
@@ -301,15 +321,22 @@ class Source:
         self.items = items
         self.interval_ps = interval_ps
         self.count = 0
+        sim._pipeline_components.append(self)
+        sim._fastpath_attempted = False
         self.process = sim.spawn(self._run(), name=name)
 
     def _run(self):
+        sim = self.sim
+        out = self.out
+        interval = self.interval_ps
         for item in self.items:
-            if self.interval_ps:
-                yield self.sim.timeout(self.interval_ps)
-            yield self.out.put(item)
+            if interval:
+                yield sim.delay(interval)
+            if not out.try_put(item):
+                yield out.put(item)
             self.count += item.count if isinstance(item, Burst) else 1
-        yield self.out.put(END_OF_STREAM)
+        if not out.try_put(END_OF_STREAM):
+            yield out.put(END_OF_STREAM)
 
 
 class Sink:
@@ -321,13 +348,19 @@ class Sink:
         self.received: list[Any] = []
         self.items = 0
         self.done_at_ps: int | None = None
+        sim._pipeline_components.append(self)
+        sim._fastpath_attempted = False
         self.process = sim.spawn(self._run(), name=name)
 
     def _run(self):
+        sim = self.sim
+        inp = self.inp
         while True:
-            item = yield self.inp.get()
+            ok, item = inp.try_get()
+            if not ok:
+                item = yield inp.get()
             if item is END_OF_STREAM:
-                self.done_at_ps = self.sim.now
+                self.done_at_ps = sim.now
                 return
             self.received.append(item)
             self.items += item.count if isinstance(item, Burst) else 1

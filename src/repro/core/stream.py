@@ -88,6 +88,9 @@ class StreamStats:
     (:mod:`repro.obs.profile`) reports as stall time.
     """
 
+    #: ``gets`` counts every *resolved* get — whether the item came off
+    #: the queue or was handed directly to a blocked consumer — so on a
+    #: fully drained stream ``gets == puts`` regardless of event order.
     puts: int = 0
     gets: int = 0
     items: int = 0
@@ -159,6 +162,7 @@ class Stream:
             getter.succeed(item)
             done.succeed()
             self._account_put(item)
+            self.stats.gets += 1
             self._end_consumer_stall(since)
             if tracer is not None:
                 tracer.stream_put(
@@ -220,8 +224,40 @@ class Stream:
             item = self._queue.popleft()
             self._account_get(item)
             self._drain_putters()
+            tracer = self.sim._tracer
+            if tracer is not None:
+                tracer.stream_get(self.name, blocked=False)
             return True, item
         return False, None
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put: True if ``item`` was accepted immediately.
+
+        Symmetric to :meth:`try_get`: the item is handed to the
+        longest-waiting consumer (or enqueued) exactly as an unblocked
+        :meth:`put` would, but without allocating a completion event.
+        Returns False — and leaves the stream untouched — when the put
+        would have blocked.
+        """
+        waiter = self._pop_getter()
+        if waiter is not None:
+            getter, since = waiter
+            getter.succeed(item)
+            self._account_put(item)
+            self.stats.gets += 1
+            self._end_consumer_stall(since)
+        elif len(self._queue) < self.depth:
+            self._queue.append(item)
+            self._account_put(item)
+        else:
+            return False
+        tracer = self.sim._tracer
+        if tracer is not None:
+            tracer.stream_put(
+                self.name, self._count(item), len(self._queue),
+                blocked=False,
+            )
+        return True
 
     # -- internal ---------------------------------------------------------
 
@@ -292,6 +328,7 @@ class Stream:
             if waiter is not None:
                 getter, gsince = waiter
                 getter.succeed(item)
+                self.stats.gets += 1
                 self._end_consumer_stall(gsince)
             else:
                 self._queue.append(item)

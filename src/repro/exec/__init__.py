@@ -1,0 +1,32 @@
+"""Parallel sweep execution and result caching (``repro.exec``).
+
+The experiment benches are embarrassingly parallel: a seed x config
+grid of independent cells (one nprobe, one cluster size, one fault
+rate).  This package fans that grid out over a ``multiprocessing``
+pool with deterministic result ordering, and memoises completed cells
+in a content-addressed on-disk cache keyed by
+``(experiment, config, seed, code-version)`` so re-runs only pay for
+what changed.
+
+Entry points:
+
+* :class:`SweepRunner` — executes a :class:`SweepSpec` serially or in
+  parallel, consulting the :class:`ResultCache` per cell;
+* :func:`build_spec` / :data:`SWEEPABLE` — the registry of experiments
+  that expose a cell/assemble decomposition (e5, e11, e22);
+* ``python -m repro run <exp> --parallel N`` — the CLI wiring.
+"""
+
+from .cache import ResultCache, code_version
+from .experiments import SWEEPABLE, build_spec
+from .runner import SweepResult, SweepRunner, SweepSpec
+
+__all__ = [
+    "ResultCache",
+    "SWEEPABLE",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "build_spec",
+    "code_version",
+]

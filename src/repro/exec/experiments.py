@@ -1,0 +1,489 @@
+"""Cell/assemble decompositions of the sweepable experiments.
+
+Each sweepable experiment is factored into three parts the runner can
+schedule independently:
+
+* ``prepare()`` — build the (deterministic, seeded) shared context:
+  datasets, indexes, clusters.  Runs once per worker process.
+* ``cell(ctx, config, seed)`` — one grid point, returning a plain
+  JSON-able dict.  Cells are independent, so they parallelise and
+  cache freely.
+* ``assemble(rows)`` — fold the cell dicts (in grid order) back into
+  the experiment's :class:`~repro.bench.ResultTable` list, including
+  the bench's shape assertions.
+
+The benchmark files delegate to the same ``cell``/``assemble``
+functions, so ``repro run e5 --parallel 4`` produces byte-identical
+tables to the pytest path — the decomposition *is* the experiment,
+not a parallel re-implementation of it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..bench import ResultTable
+
+__all__ = ["SWEEPABLE", "build_spec"] + [
+    "e5_cell", "e5_assemble", "e11_cell", "e11_assemble",
+    "e22_cell", "e22_assemble", "e22_rates",
+]
+
+# Deployment-scale multiplier for FANNS timing, mirrored from
+# benchmarks/conftest.py (see DESIGN.md §1).
+FANNS_LIST_SCALE = 2_000
+
+_E5_NPROBES = (1, 2, 4, 8, 16, 32)
+_E5_K = 10
+
+_E11_NODES = (2, 4, 8, 16, 32)
+_E11_SMALL_FLOATS = 1 << 7
+_E11_LARGE_FLOATS = 1 << 20
+_E11_CROSSOVER_P = 16
+_E11_CROSSOVER_SIZES = (16, 1 << 10, 1 << 14, 1 << 18, 1 << 21)
+
+_PS_PER_S = 1_000_000_000_000
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A sweepable experiment: its grid and the three phase callables."""
+
+    experiment: str
+    grid: tuple[dict, ...]
+    seeds: tuple[int, ...]
+    prepare: Callable[[], Any]
+    cell: Callable[[Any, dict, int], dict]
+    assemble: Callable[[list[dict]], list[ResultTable]]
+
+
+# -- E5: FANNS QPS vs recall ------------------------------------------------
+
+
+def e5_prepare() -> dict:
+    """Dataset + trained index, identical to the bench session fixtures."""
+    from ..fanns import build_ivfpq
+    from ..workloads import clustered_dataset
+
+    data = clustered_dataset(
+        n=20_000, dim=32, n_queries=100, gt_k=10, n_clusters=64,
+        cluster_std=0.25, seed=13,
+    )
+    index = build_ivfpq(data.base, nlist=256, m=16, ksub=256, seed=13)
+    return {"data": data, "index": index}
+
+
+def e5_cell(index, data, nprobe: int, list_scale: int = FANNS_LIST_SCALE) -> dict:
+    """One nprobe point: run all three engines, check the SLA triangle."""
+    from ..fanns import (
+        CpuAnnSearcher,
+        FannsAccelerator,
+        GpuAnnSearcher,
+        recall_at_k,
+    )
+
+    accel = FannsAccelerator(index, list_scale=list_scale)
+    cpu = CpuAnnSearcher(index, list_scale=list_scale)
+    gpu = GpuAnnSearcher(index, list_scale=list_scale)
+    f = accel.search(data.queries, _E5_K, nprobe)
+    c = cpu.search(data.queries, _E5_K, nprobe)
+    g = gpu.search(data.queries, _E5_K, nprobe)
+    assert (f.ids == c.ids).all(), "engines must agree exactly"
+    assert (f.ids == g.ids).all()
+    recall = recall_at_k(f.ids, data.ground_truth)
+    return {
+        "nprobe": nprobe,
+        "recall": float(recall),
+        "fpga_qps": float(f.qps),
+        "cpu_qps": float(c.qps),
+        "gpu_qps": float(g.qps),
+        "fpga_lat_us": float(f.query_latency_s * 1e6),
+        "cpu_lat_us": float(c.query_latency_s * 1e6),
+        "gpu_lat_us": float(g.query_latency_s * 1e6),
+        "latency_gain": float(c.query_latency_s / f.query_latency_s),
+        "fpga_beats_gpu": bool(f.query_latency_s < g.query_latency_s),
+    }
+
+
+def e5_assemble(rows: list[dict]) -> list[ResultTable]:
+    """Rebuild the E5 table (and shape claims) from cell dicts."""
+    report = ResultTable(
+        "E5: QPS vs recall@10 (FPGA vs CPU vs GPU, modeled 40M vectors)",
+        ("nprobe", "recall@10", "FPGA QPS", "CPU QPS", "GPU QPS",
+         "FPGA lat us", "CPU lat us", "GPU lat us"),
+    )
+    recalls, latency_gains = [], []
+    for row in rows:
+        recalls.append(row["recall"])
+        latency_gains.append(row["latency_gain"])
+        report.add(
+            row["nprobe"], round(row["recall"], 3), row["fpga_qps"],
+            row["cpu_qps"], row["gpu_qps"], row["fpga_lat_us"],
+            row["cpu_lat_us"], row["gpu_lat_us"],
+        )
+        # The SLA triangle: FPGA holds the latency edge over both.
+        assert row["fpga_beats_gpu"]
+    assert recalls == sorted(recalls), "recall monotone in nprobe"
+    assert recalls[-1] > 0.85, "high-recall regime reachable"
+    assert min(latency_gains) > 5, "FPGA latency advantage holds"
+    return [report]
+
+
+def _e5_spec() -> ExperimentSpec:
+    def cell(ctx: dict, config: dict, seed: int) -> dict:
+        return e5_cell(ctx["index"], ctx["data"], config["nprobe"])
+
+    return ExperimentSpec(
+        experiment="e5",
+        grid=tuple({"nprobe": n} for n in _E5_NPROBES),
+        seeds=(13,),
+        prepare=e5_prepare,
+        cell=cell,
+        assemble=e5_assemble,
+    )
+
+
+# -- E11: ACCL allreduce scaling -------------------------------------------
+
+
+def _e11_buffers(p: int, n_floats: int, seed: int = 0) -> list:
+    rng = np.random.default_rng(seed)
+    return [rng.random(n_floats) for _ in range(p)]
+
+
+def e11_cell(config: dict, seed: int = 0) -> dict:
+    """One scaling point (cluster size) or one crossover point (payload)."""
+    from ..accl import FpgaCluster
+
+    if config["kind"] == "scaling":
+        p = config["p"]
+        cluster = FpgaCluster(p)
+        small = _e11_buffers(p, _E11_SMALL_FLOATS, seed)
+        large = _e11_buffers(p, _E11_LARGE_FLOATS, seed)
+        return {
+            "kind": "scaling",
+            "p": p,
+            "tree_small_s": float(
+                cluster.allreduce(small, algorithm="tree").time_s
+            ),
+            "ring_small_s": float(
+                cluster.allreduce(small, algorithm="ring").time_s
+            ),
+            "tree_large_s": float(
+                cluster.allreduce(large, algorithm="tree").time_s
+            ),
+            "ring_large_s": float(
+                cluster.allreduce(large, algorithm="ring").time_s
+            ),
+        }
+    p = _E11_CROSSOVER_P
+    cluster = FpgaCluster(p)
+    buffers = _e11_buffers(p, config["n_floats"], seed)
+    ring = cluster.allreduce(buffers, algorithm="ring")
+    tree = cluster.allreduce(buffers, algorithm="tree")
+    assert np.allclose(ring.buffers[0], tree.buffers[0])
+    return {
+        "kind": "crossover",
+        "n_floats": config["n_floats"],
+        "ring_s": float(ring.time_s),
+        "tree_s": float(tree.time_s),
+        "winner": "ring" if ring.time_s < tree.time_s else "tree",
+    }
+
+
+def e11_assemble(rows: list[dict]) -> list[ResultTable]:
+    """Rebuild the E11a/E11b tables (and shape claims) from cell dicts."""
+    scaling = [r for r in rows if r["kind"] == "scaling"]
+    crossover = [r for r in rows if r["kind"] == "crossover"]
+    report_a = ResultTable(
+        "E11a: allreduce time vs cluster size (FPGA cluster)",
+        ("nodes", "tree small us", "ring small us",
+         "tree 8MiB us", "ring 8MiB us"),
+    )
+    tree_small_series, ring_large_series = [], []
+    for row in scaling:
+        tree_small_series.append(row["tree_small_s"])
+        ring_large_series.append(row["ring_large_s"])
+        report_a.add(
+            row["p"], row["tree_small_s"] * 1e6, row["ring_small_s"] * 1e6,
+            row["tree_large_s"] * 1e6, row["ring_large_s"] * 1e6,
+        )
+    if scaling:
+        # Tree latency grows with log P.
+        assert tree_small_series == sorted(tree_small_series)
+        # Ring bandwidth time is near-flat: 32 nodes < 2.5x the 2-node time.
+        assert ring_large_series[-1] < 2.5 * ring_large_series[0]
+
+    report_b = ResultTable(
+        "E11b: ring vs tree crossover (16 nodes)",
+        ("floats/node", "ring us", "tree us", "winner"),
+    )
+    winners = []
+    for row in crossover:
+        winners.append(row["winner"])
+        report_b.add(
+            row["n_floats"], row["ring_s"] * 1e6, row["tree_s"] * 1e6,
+            row["winner"],
+        )
+    if crossover:
+        assert winners[0] == "tree" and winners[-1] == "ring", \
+            "crossover between small and large payloads"
+    return [report_a, report_b]
+
+
+def _e11_spec() -> ExperimentSpec:
+    grid = tuple(
+        [{"kind": "scaling", "p": p} for p in _E11_NODES]
+        + [{"kind": "crossover", "n_floats": n} for n in _E11_CROSSOVER_SIZES]
+    )
+
+    def cell(ctx: Any, config: dict, seed: int) -> dict:
+        return e11_cell(config, seed)
+
+    return ExperimentSpec(
+        experiment="e11",
+        grid=grid,
+        seeds=(0,),
+        prepare=lambda: None,
+        cell=cell,
+        assemble=e11_assemble,
+    )
+
+
+# -- E22: fault tolerance ---------------------------------------------------
+
+_E22_SEED = 22
+_E22_N_CLIENTS = 4
+_E22_REQUESTS_PER_CLIENT = 30
+_E22_RESULT_BYTES = 64 * 1024
+_E22_SCAN_PS = 8_000_000
+_E22_N_NODES = 8
+_E22_N_ROUNDS = 10
+_E22_BUFFER_ELEMS = 64 * 1024
+
+
+def e22_rates() -> tuple[float, ...]:
+    """The fault-rate ladder (``REPRO_FAULT_RATE`` overrides)."""
+    override = os.environ.get("REPRO_FAULT_RATE")
+    if override:
+        return (0.0, float(override))
+    return (0.0, 0.001, 0.01)
+
+
+def _percentiles_us(latencies_ps: list[int]) -> tuple[float, float]:
+    arr = np.array(latencies_ps, dtype=np.float64) / 1e6
+    return float(np.percentile(arr, 50)), float(np.percentile(arr, 99))
+
+
+def _simulate_farview(rate: float) -> dict:
+    """Event-driven: clients retrying scans over one faulty egress."""
+    from ..core import Simulator
+    from ..faults import FaultPlan, FaultyLink, RetryPolicy, call_with_retries
+    from ..network.link import ethernet_100g
+
+    policy = RetryPolicy(
+        max_attempts=4,
+        timeout_ps=60_000_000,
+        backoff_base_ps=2_000_000,
+        jitter=0.2,
+    )
+    sim = Simulator()
+    plan = FaultPlan(
+        seed=_E22_SEED,
+        drop_rate=rate,
+        spike_rate=rate,
+        spike_ps=(2_000_000, 20_000_000),
+    )
+    link = FaultyLink(
+        sim, ethernet_100g(), plan, name="farview.egress", mode="silent"
+    )
+    outcomes = []
+
+    def attempt():
+        yield sim.timeout(_E22_SCAN_PS)
+        nbytes = yield link.transfer(_E22_RESULT_BYTES)
+        return nbytes
+
+    def client(cid: int):
+        rng = plan.stream(f"client{cid}.backoff")
+        for _ in range(_E22_REQUESTS_PER_CLIENT):
+            out = yield from call_with_retries(
+                sim, attempt, policy, rng, site=f"client{cid}"
+            )
+            outcomes.append(out)
+
+    for cid in range(_E22_N_CLIENTS):
+        sim.spawn(client(cid), name=f"client{cid}")
+    sim.run()
+
+    ok = [o for o in outcomes if o.ok]
+    p50, p99 = _percentiles_us([o.latency_ps for o in outcomes])
+    wall_s = sim.now / _PS_PER_S
+    goodput = len(ok) * _E22_RESULT_BYTES / wall_s / 1e6 if wall_s else 0.0
+    return {
+        "p50_us": p50,
+        "p99_us": p99,
+        "goodput": f"{goodput:8.1f} MB/s",
+        "retries": sum(o.retries for o in outcomes),
+        "gave_up": sum(1 for o in outcomes if not o.ok),
+        "n": len(outcomes),
+    }
+
+
+def _simulate_allreduce(rate: float) -> dict:
+    """Analytic: repeated ring allreduces, with a crash at the 1% rate."""
+    from ..accl import FpgaCluster, allreduce_with_faults
+    from ..faults import FaultPlan, NodeOutage
+
+    outages = ()
+    if rate >= 0.01:
+        # Node 3 dies partway through the run and stays down.
+        outages = (NodeOutage(node=3, down_at_ps=400_000_000),)
+    plan = FaultPlan(seed=_E22_SEED, drop_rate=rate, outages=outages)
+    cluster = FpgaCluster(_E22_N_NODES)
+    buffers = [
+        np.full(_E22_BUFFER_ELEMS, float(i + 1), dtype=np.float64)
+        for i in range(_E22_N_NODES)
+    ]
+    round_ps: list[int] = []
+    retries = 0
+    reroutes = 0
+    reduced_bytes = 0
+    t_ps = 0
+    for _ in range(_E22_N_ROUNDS):
+        result = allreduce_with_faults(cluster, buffers, plan, start_ps=t_ps)
+        expected = sum(
+            float(i + 1) for i in range(_E22_N_NODES) if i in result.survivors
+        )
+        assert np.allclose(result.outcome.buffers[0], expected), (
+            "allreduce result must be the survivors' sum"
+        )
+        step_ps = int(result.time_s * _PS_PER_S)
+        round_ps.append(step_ps)
+        t_ps += step_ps
+        retries += result.retries
+        reroutes += int(result.rerouted)
+        reduced_bytes += len(result.survivors) * buffers[0].nbytes
+    p50, p99 = _percentiles_us(round_ps)
+    wall_s = t_ps / _PS_PER_S
+    goodput = reduced_bytes / wall_s / 1e9 if wall_s else 0.0
+    return {
+        "p50_us": p50,
+        "p99_us": p99,
+        "goodput": f"{goodput:8.2f} GB/s",
+        "retries": retries,
+        "gave_up": 0,
+        "reroutes": reroutes,
+    }
+
+
+def e22_cell(config: dict, seed: int = _E22_SEED) -> dict:
+    """One (workload, fault-rate) point."""
+    rate = config["rate"]
+    if config["workload"] == "farview":
+        row = _simulate_farview(rate)
+    else:
+        row = _simulate_allreduce(rate)
+    row["workload"] = config["workload"]
+    row["rate"] = rate
+    return row
+
+
+def e22_assemble(rows: list[dict]) -> list[ResultTable]:
+    """Rebuild the E22 table (and shape claims) from cell dicts."""
+    report = ResultTable(
+        "E22: tail latency and goodput under injected faults",
+        ("workload", "fault %", "p50 us", "p99 us", "goodput",
+         "retries", "gave up"),
+    )
+    farview = {r["rate"]: r for r in rows if r["workload"] == "farview"}
+    accl = {r["rate"]: r for r in rows if r["workload"] == "accl"}
+    rates = sorted(farview)
+    for rate in rates:
+        row = farview[rate]
+        report.add(
+            "farview scans", f"{100 * rate:g}", round(row["p50_us"], 2),
+            round(row["p99_us"], 2), row["goodput"], row["retries"],
+            row["gave_up"],
+        )
+    for rate in rates:
+        row = accl[rate]
+        report.add(
+            "accl allreduce", f"{100 * rate:g}", round(row["p50_us"], 2),
+            round(row["p99_us"], 2), row["goodput"], row["retries"],
+            row["gave_up"],
+        )
+
+    clean_fv, clean_ar = farview[rates[0]], accl[rates[0]]
+    assert clean_fv["retries"] == 0 and clean_fv["gave_up"] == 0, (
+        "the 0% row must be fault-free"
+    )
+    assert clean_ar["retries"] == 0 and clean_ar["reroutes"] == 0
+    worst = max(rates)
+    if worst >= 0.01:
+        assert farview[worst]["retries"] > 0, (
+            "the worst fault rate must actually trigger retries"
+        )
+        assert accl[worst]["reroutes"] > 0, (
+            "the scheduled crash must force a ring->tree reroute"
+        )
+    for row in list(farview.values()) + list(accl.values()):
+        assert row["p99_us"] >= row["p50_us"]
+    report.note(
+        "farview: 4 clients x 30 scans, silent drops, 60 us attempt "
+        "timeout, <=4 attempts; accl: 10 ring allreduces on 8 nodes, "
+        "crash at 0.4 ms for the 1% row (ring degrades to survivor tree)"
+    )
+    return [report]
+
+
+def _e22_spec() -> ExperimentSpec:
+    rates = e22_rates()
+    grid = tuple(
+        [{"workload": "farview", "rate": r} for r in rates]
+        + [{"workload": "accl", "rate": r} for r in rates]
+    )
+
+    def cell(ctx: Any, config: dict, seed: int) -> dict:
+        return e22_cell(config, seed)
+
+    return ExperimentSpec(
+        experiment="e22",
+        grid=grid,
+        seeds=(_E22_SEED,),
+        prepare=lambda: None,
+        cell=cell,
+        assemble=e22_assemble,
+    )
+
+
+# -- registry ---------------------------------------------------------------
+
+_FACTORIES: dict[str, Callable[[], ExperimentSpec]] = {
+    "e5": _e5_spec,
+    "e11": _e11_spec,
+    "e22": _e22_spec,
+}
+
+#: Experiment ids that can run through the sweep runner.
+SWEEPABLE: tuple[str, ...] = tuple(_FACTORIES)
+
+
+def build_spec(experiment: str) -> ExperimentSpec:
+    """The :class:`ExperimentSpec` for a sweepable experiment id.
+
+    Built fresh per call so environment knobs (``REPRO_FAULT_RATE``)
+    are honoured at invocation time, like the pytest path.
+    """
+    try:
+        factory = _FACTORIES[experiment.lower()]
+    except KeyError:
+        raise KeyError(
+            f"experiment {experiment!r} has no sweep decomposition "
+            f"(sweepable: {', '.join(SWEEPABLE)})"
+        ) from None
+    return factory()

@@ -1,0 +1,30 @@
+"""Bench-suite plumbing: per-entry wall-clock reporting.
+
+Every test in this directory (the smoke suite and the golden
+equivalence checks) gets timed, and a per-experiment wall-clock table
+is printed in the terminal summary — so creeping bench cost shows up
+in plain ``pytest`` output instead of only in CI duration graphs.
+"""
+
+import time
+
+import pytest
+
+_durations: list[tuple[str, float]] = []
+
+
+@pytest.fixture(autouse=True)
+def _bench_wall_clock(request):
+    t0 = time.perf_counter()
+    yield
+    _durations.append((request.node.name, time.perf_counter() - t0))
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _durations:
+        return
+    terminalreporter.section("bench smoke wall clock")
+    for name, seconds in sorted(_durations, key=lambda d: -d[1]):
+        terminalreporter.write_line(f"{seconds:8.2f}s  {name}")
+    total = sum(seconds for _, seconds in _durations)
+    terminalreporter.write_line(f"{total:8.2f}s  total")

@@ -133,6 +133,7 @@ _CASES = [
     ("bench_e20_hash_join", "_run_join_study", ()),
     ("bench_e21_business_rules", "_run_rules_sweep", ()),
     ("bench_e22_fault_tolerance", "_run_fault_tolerance", ()),
+    ("bench_e23_sim_perf", "_run_smoke", ()),
 ]
 
 

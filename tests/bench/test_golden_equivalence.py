@@ -1,0 +1,70 @@
+"""Golden equivalence: fast-forward must not change any result table.
+
+The simulator-driven experiments (e1–e4's dataflow pipelines, e22's
+fault-tolerance table) are rendered twice — once with the analytic
+fast-forward disabled (pure stepped engine) and once with it enabled —
+and the two tables must be byte-identical.  This is the end-to-end
+counterpart of the unit-level differential tests in
+``tests/core/test_fastpath.py``: whatever the solver does internally,
+no experiment output is allowed to move.
+
+(e22's event-driven workload spawns bare client processes, so it
+exercises the *fallback* leg: enabling fast-forward must be a no-op
+there, not an error.)
+"""
+
+import importlib.util
+import sys
+from functools import lru_cache
+from pathlib import Path
+
+import pytest
+
+from repro.core.fastpath import set_fast_forward
+
+_BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+@lru_cache(maxsize=None)
+def _load(stem: str):
+    """Import a benchmark module by file (they are not a package)."""
+    if str(_BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(_BENCH_DIR))
+    spec = importlib.util.spec_from_file_location(
+        stem, _BENCH_DIR / f"{stem}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+# (module stem, entry point) — simulator-backed, self-contained benches.
+_SIM_BENCHES = [
+    ("bench_e1_hls_pipeline", "_run_pipeline_sweep"),
+    ("bench_e1_hls_pipeline", "_run_timing_ablation"),
+    ("bench_e2_line_rate", "_run_line_rate"),
+    ("bench_e3_farview_offload", "_run_aggregate_sweep"),
+    ("bench_e3_farview_offload", "_run_projection_crossover"),
+    ("bench_e4_farview_pipelines", "_run_pipelines"),
+    ("bench_e22_fault_tolerance", "_run_fault_tolerance"),
+]
+
+
+@pytest.mark.parametrize(
+    "stem,entry",
+    _SIM_BENCHES,
+    ids=[f"{stem.split('_', 1)[1]}:{entry.lstrip('_')}"
+         for stem, entry in _SIM_BENCHES],
+)
+def test_fast_forward_preserves_table(stem, entry):
+    run = getattr(_load(stem), entry)
+    set_fast_forward(False)
+    try:
+        engine = run().render()
+    finally:
+        set_fast_forward(None)
+    set_fast_forward(True)
+    try:
+        fast = run().render()
+    finally:
+        set_fast_forward(None)
+    assert fast == engine

@@ -1,0 +1,290 @@
+"""Analytic fast-forward: equivalence with the stepped engine.
+
+The contract under test (see ``repro.core.fastpath``): for eligible
+Source → kernels → Sink chains, solving the max-plus recurrence and
+jumping the clock must reproduce the stepped engine's observable
+results *exactly* — payloads, completion times, kernel stats, and
+stream counters.  Anything the solver cannot prove eligible must fall
+back to the engine unchanged.
+"""
+
+import os
+
+import pytest
+
+from repro.core import (
+    Burst,
+    BurstKernel,
+    ItemKernel,
+    KernelSpec,
+    Simulator,
+    Sink,
+    Source,
+    Stream,
+)
+from repro.core import fastpath
+from repro.core.fastpath import (
+    analytic_pipeline_estimate,
+    set_fast_forward,
+    try_fast_forward,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_override():
+    yield
+    set_fast_forward(None)
+
+
+def _build_item_chain(sim, n_items, kernel_params, stream_depth=4,
+                      interval_ps=0, fns=None):
+    n_kernels = len(kernel_params)
+    streams = [
+        Stream(sim, depth=stream_depth, name=f"s{i}")
+        for i in range(n_kernels + 1)
+    ]
+    Source(sim, streams[0], range(n_items), interval_ps=interval_ps)
+    kernels = []
+    for i, (ii, depth) in enumerate(kernel_params):
+        fn = fns[i] if fns else (lambda x: x)
+        kernels.append(
+            ItemKernel(sim, KernelSpec(name=f"k{i}", ii=ii, depth=depth),
+                       fn, streams[i], streams[i + 1])
+        )
+    return streams, kernels, Sink(sim, streams[-1])
+
+
+def _observables(sim, streams, kernels, sink):
+    """Everything fast-forward promises to reproduce exactly."""
+    return {
+        "now": sim.now,
+        "done_at": sink.done_at_ps,
+        "payloads": sink.payloads,
+        "sink_items": sink.items,
+        "kernels": [
+            (k.items_in, k.items_out, k.busy_ps, k.stall_in_ps,
+             k.stall_out_ps)
+            for k in kernels
+        ],
+        "streams": [
+            (s.stats.puts, s.stats.gets, s.stats.items,
+             s.stats.producer_stall_ps, s.stats.consumer_stall_ps)
+            for s in streams
+        ],
+    }
+
+
+def _run_both(build):
+    """Run the same chain with fast-forward off and on."""
+    set_fast_forward(False)
+    sim = Simulator()
+    parts = build(sim)
+    sim.run()
+    engine = _observables(sim, *parts)
+
+    set_fast_forward(True)
+    sim = Simulator()
+    parts = build(sim)
+    before = fastpath.counters["applied"]
+    sim.run()
+    assert fastpath.counters["applied"] == before + 1, (
+        "eligible chain must take the fast path"
+    )
+    fast = _observables(sim, *parts)
+    return engine, fast
+
+
+@pytest.mark.parametrize("kernel_params", [
+    [(1, 1)],
+    [(1, 4), (2, 6), (1, 3)],
+    [(3, 8), (1, 1), (2, 2), (4, 12)],
+])
+@pytest.mark.parametrize("interval_ps", [0, 3333])
+def test_item_chain_matches_engine(kernel_params, interval_ps):
+    def build(sim):
+        return _build_item_chain(
+            sim, 200, kernel_params, interval_ps=interval_ps
+        )
+
+    engine, fast = _run_both(build)
+    assert fast == engine
+
+
+def test_item_chain_with_drops_matches_engine():
+    def build(sim):
+        return _build_item_chain(
+            sim, 300, [(1, 4), (2, 3)],
+            fns=[lambda x: x if x % 3 else None, lambda x: x * 2],
+        )
+
+    engine, fast = _run_both(build)
+    assert fast == engine
+    assert fast["payloads"] == [x * 2 for x in range(300) if x % 3]
+
+
+def test_burst_chain_matches_engine():
+    def build(sim):
+        streams = [Stream(sim, depth=2, name=f"s{i}") for i in range(3)]
+        Source(sim, streams[0],
+               [Burst(i, count=i % 7 + 1) for i in range(60)])
+        kernels = [
+            BurstKernel(sim, KernelSpec(name="k0", ii=2, depth=9),
+                        lambda b: b, streams[0], streams[1]),
+            BurstKernel(sim, KernelSpec(name="k1", ii=1, depth=4, unroll=2),
+                        lambda b: b, streams[1], streams[2]),
+        ]
+        return streams, kernels, Sink(sim, streams[2])
+
+    engine, fast = _run_both(build)
+    assert fast == engine
+
+
+def test_source_direct_to_sink_matches_engine():
+    def build(sim):
+        stream = Stream(sim, depth=1, name="s")
+        Source(sim, stream, range(1000), interval_ps=100)
+        return [stream], [], Sink(sim, stream)
+
+    engine, fast = _run_both(build)
+    assert fast == engine
+
+
+def test_multiple_independent_chains_match_engine():
+    def build(sim):
+        parts = []
+        for c in range(3):
+            streams = [
+                Stream(sim, depth=3, name=f"c{c}s{i}") for i in range(2)
+            ]
+            Source(sim, streams[0], range(50 * (c + 1)))
+            kernels = [
+                ItemKernel(sim, KernelSpec(name=f"c{c}k", ii=c + 1, depth=4),
+                           lambda x: x, streams[0], streams[1])
+            ]
+            parts.append((streams, kernels, Sink(sim, streams[1])))
+        return parts
+
+    set_fast_forward(False)
+    sim = Simulator()
+    parts = build(sim)
+    sim.run()
+    engine = [_observables(sim, *p) for p in parts]
+
+    set_fast_forward(True)
+    sim = Simulator()
+    parts = build(sim)
+    sim.run()
+    fast = [_observables(sim, *p) for p in parts]
+    assert fast == engine
+
+
+# -- fallback conditions ---------------------------------------------------
+
+
+def test_foreign_process_forces_fallback():
+    """An unregistered process makes the topology unprovable: engine runs."""
+
+    def build(sim):
+        parts = _build_item_chain(sim, 100, [(1, 4)])
+
+        def bystander():
+            yield sim.timeout(5)
+
+        sim.spawn(bystander(), name="bystander")
+        return parts
+
+    set_fast_forward(True)
+    sim = Simulator()
+    parts = build(sim)
+    before = fastpath.counters["fallback"]
+    sim.run()
+    assert fastpath.counters["fallback"] == before + 1
+
+    set_fast_forward(False)
+    sim2 = Simulator()
+    parts2 = build(sim2)
+    sim2.run()
+    assert _observables(sim, *parts) == _observables(sim2, *parts2)
+
+
+def test_tracer_forces_fallback():
+    from repro.obs import Tracer
+
+    set_fast_forward(True)
+    sim = Simulator(tracer=Tracer())
+    streams, kernels, sink = _build_item_chain(sim, 20, [(1, 2)])
+    before = fastpath.counters["applied"]
+    sim.run()
+    assert fastpath.counters["applied"] == before
+    assert sink.items == 20
+
+
+def test_disabled_override_uses_engine():
+    set_fast_forward(False)
+    sim = Simulator()
+    _build_item_chain(sim, 20, [(1, 2)])
+    before = fastpath.counters["applied"]
+    sim.run()
+    assert fastpath.counters["applied"] == before
+
+
+def test_env_knob_disables(monkeypatch):
+    set_fast_forward(None)
+    monkeypatch.setenv("REPRO_FASTPATH", "0")
+    assert not fastpath.is_enabled()
+    monkeypatch.setenv("REPRO_FASTPATH", "1")
+    assert fastpath.is_enabled()
+
+
+def test_run_until_never_fast_forwards():
+    """Bounded runs must step, or `until` semantics would break."""
+    set_fast_forward(True)
+    sim = Simulator()
+    streams, kernels, sink = _build_item_chain(sim, 1000, [(1, 4)])
+    before = fastpath.counters["applied"]
+    sim.run(until=50)
+    assert fastpath.counters["applied"] == before
+    assert sim.now <= 50
+    assert sink.done_at_ps is None
+    sim.run()  # resumes on the engine; fastpath stays off mid-flight
+    assert sink.items == 1000
+
+
+def test_burst_type_error_still_raised():
+    set_fast_forward(True)
+    sim = Simulator()
+    streams = [Stream(sim, depth=2, name=f"s{i}") for i in range(2)]
+    Source(sim, streams[0], range(5))  # raw ints into a BurstKernel
+    BurstKernel(sim, KernelSpec(name="k", ii=1, depth=1),
+                lambda b: b, streams[0], streams[1])
+    Sink(sim, streams[1])
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_try_fast_forward_requires_components():
+    sim = Simulator()
+    assert not try_fast_forward(sim)
+
+
+# -- the analytic estimator ------------------------------------------------
+
+
+def test_analytic_pipeline_estimate_matches_simulation():
+    specs = [
+        KernelSpec(name="a", ii=1, depth=4),
+        KernelSpec(name="b", ii=2, depth=6),
+    ]
+    n = 500
+    sim = Simulator()
+    streams, kernels, sink = _build_item_chain(
+        sim, n, [(1, 4), (2, 6)], stream_depth=64
+    )
+    sim.run()
+    estimate = analytic_pipeline_estimate(specs, n)
+    # The estimate ignores finite FIFO depths; with deep streams it
+    # must land within one bottleneck period of the simulated time.
+    bottleneck_ps = max(
+        s.clock.cycles_to_ps(s.ii) for s in specs
+    )
+    assert abs(sink.done_at_ps - estimate) <= 2 * bottleneck_ps

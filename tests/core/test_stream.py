@@ -193,3 +193,58 @@ def test_property_high_watermark_never_exceeds_depth(depth, n):
     sim.spawn(consumer(sim, stream))
     sim.run()
     assert stream.stats.high_watermark <= depth
+
+
+def test_try_put_nonblocking():
+    sim = Simulator()
+    stream = Stream(sim, depth=1)
+    assert stream.try_put("a")
+    assert not stream.try_put("b"), "full stream must refuse without blocking"
+    ok, item = stream.try_get()
+    assert ok and item == "a"
+    assert stream.try_put("b")
+    assert stream.stats.puts == 2
+
+
+def test_try_put_hands_off_to_blocked_consumer():
+    sim = Simulator()
+    stream = Stream(sim, depth=1)
+    got = []
+
+    def consumer(sim, stream):
+        item = yield stream.get()
+        got.append((item, sim.now))
+
+    def producer(sim, stream):
+        yield sim.timeout(10)
+        assert stream.try_put("x")
+
+    sim.spawn(consumer(sim, stream))
+    sim.spawn(producer(sim, stream))
+    sim.run()
+    assert got == [("x", 10)]
+    assert stream.stats.gets == 1
+
+
+def test_gets_counts_direct_handoffs_like_queue_pops():
+    """On a drained stream ``gets == puts`` regardless of whether items
+    went through the queue or straight to a blocked consumer."""
+    sim = Simulator()
+    stream = Stream(sim, depth=1)
+    received = []
+
+    def producer(sim, stream):
+        for i in range(6):
+            yield stream.put(i)
+
+    def consumer(sim, stream):
+        for _ in range(6):
+            item = yield stream.get()
+            received.append(item)
+
+    sim.spawn(consumer(sim, stream))  # consumer first: handoffs happen
+    sim.spawn(producer(sim, stream))
+    sim.run()
+    assert received == list(range(6))
+    assert stream.stats.puts == 6
+    assert stream.stats.gets == 6

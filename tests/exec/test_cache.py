@@ -1,0 +1,64 @@
+"""Result cache: keys, atomicity, invalidation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exec import ResultCache, code_version
+from repro.exec.cache import _jsonable, cell_key
+
+
+def test_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = cell_key("e5", {"nprobe": 4}, 13, code_version())
+    assert cache.get(key) is None
+    cache.put(key, {"recall": 0.9}, experiment="e5",
+              config={"nprobe": 4}, seed=13)
+    assert cache.get(key) == {"recall": 0.9}
+
+
+def test_corrupt_entry_reads_as_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = cell_key("e5", {"nprobe": 4}, 13, code_version())
+    cache.put(key, {"v": 1})
+    (tmp_path / f"{key}.json").write_text("{truncated")
+    assert cache.get(key) is None
+
+
+def test_key_varies_with_every_identity_field():
+    v = code_version()
+    base = cell_key("e5", {"nprobe": 4}, 13, v)
+    assert cell_key("e11", {"nprobe": 4}, 13, v) != base
+    assert cell_key("e5", {"nprobe": 8}, 13, v) != base
+    assert cell_key("e5", {"nprobe": 4}, 14, v) != base
+    assert cell_key("e5", {"nprobe": 4}, 13, "deadbeef") != base
+    # ...and is insensitive to dict ordering.
+    assert cell_key("e5", {"a": 1, "b": 2}, 0, v) == \
+        cell_key("e5", {"b": 2, "a": 1}, 0, v)
+
+
+def test_code_version_is_stable_hex():
+    v = code_version()
+    assert v == code_version()
+    assert len(v) == 16
+    int(v, 16)
+
+
+def test_jsonable_handles_numpy():
+    payload = _jsonable({
+        "arr": np.arange(3),
+        "scalar": np.float64(1.5),
+        "nested": [np.int32(7), (1, 2)],
+    })
+    json.dumps(payload)
+    assert payload == {"arr": [0, 1, 2], "scalar": 1.5,
+                       "nested": [7, [1, 2]]}
+
+
+def test_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    for i in range(3):
+        cache.put(cell_key("x", {"i": i}, 0, "v"), {"i": i})
+    assert cache.clear() == 3
+    assert cache.clear() == 0

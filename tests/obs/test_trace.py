@@ -66,6 +66,33 @@ def test_traced_off_run_schedules_no_tracer_callbacks(monkeypatch):
     assert sink.items == 64
 
 
+def test_traced_off_engine_path_schedules_no_tracer_callbacks(monkeypatch):
+    """Same guard with analytic fast-forward disabled, so the stepped
+    engine — including the try_put/try_get kernel fast paths — runs
+    every event with poisoned hooks."""
+    from repro.core.fastpath import set_fast_forward
+
+    def poisoned(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("tracer callback invoked on an untraced run")
+
+    for hook in (
+        "sim_event_scheduled", "sim_event_fired", "process_resumed",
+        "process_finished", "stream_put", "stream_get", "stream_stall",
+        "kernel_busy", "kernel_stall", "link_transfer", "memory_access",
+        "bank_access", "bank_conflict", "dataflow_solved", "instant",
+        "complete",
+    ):
+        monkeypatch.setattr(Tracer, hook, poisoned)
+    set_fast_forward(False)
+    try:
+        sim = Simulator()
+        assert sim.tracer is None
+        _, sink = _run_pipeline(sim)
+    finally:
+        set_fast_forward(None)
+    assert sink.items == 64
+
+
 def test_default_tracer_is_picked_up_and_releasable():
     tracer = Tracer()
     set_default_tracer(tracer)

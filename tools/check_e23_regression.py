@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Gate simulator-performance regressions against the committed baseline.
+
+Usage::
+
+    python tools/check_e23_regression.py FRESH.json [BASELINE.json]
+
+Compares the throughput rates (events/sec, item-stages/sec) of a fresh
+``bench_e23`` run against the committed ``BENCH_e23.json`` and exits
+non-zero if any rate dropped more than the tolerance (default 30%;
+override with ``REPRO_PERF_TOLERANCE=0.5`` etc.).  Rates are
+size-independent, so a smoke run can be checked against the committed
+full run; the generous tolerance absorbs host-speed variation between
+the baseline machine and CI runners.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+_RATES = (
+    ("timeout storm events/sec", ("timeout_storm", "events_per_sec")),
+    ("pipeline engine item-stages/sec",
+     ("deep_pipeline", "engine", "item_stages_per_sec")),
+    ("pipeline fastpath item-stages/sec",
+     ("deep_pipeline", "fastpath", "item_stages_per_sec")),
+)
+
+
+def _dig(payload: dict, path: tuple[str, ...]) -> float:
+    for key in path:
+        payload = payload[key]
+    return float(payload)
+
+
+def main(argv: list[str]) -> int:
+    if not 1 <= len(argv) <= 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fresh_path = Path(argv[0])
+    baseline_path = (
+        Path(argv[1]) if len(argv) == 2
+        else Path(__file__).resolve().parents[1] / "BENCH_e23.json"
+    )
+    tolerance = float(os.environ.get("REPRO_PERF_TOLERANCE", "0.30"))
+    fresh = json.loads(fresh_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+
+    failed = False
+    for label, path in _RATES:
+        base = _dig(baseline, path)
+        now = _dig(fresh, path)
+        ratio = now / base
+        status = "ok"
+        if ratio < 1.0 - tolerance:
+            status = "REGRESSION"
+            failed = True
+        print(f"{label:<40} baseline {base:>14,.0f}  fresh {now:>14,.0f}  "
+              f"({ratio:.2f}x) {status}")
+
+    # The golden completion time only transfers between runs of the
+    # same pipeline size (smoke runs use fewer items than the committed
+    # full run); engine/fastpath agreement within a run is asserted by
+    # the bench itself.
+    if fresh["deep_pipeline"]["item_stages"] == \
+            baseline["deep_pipeline"]["item_stages"]:
+        golden = baseline["deep_pipeline"]["engine"]["done_at_ps"]
+        for mode in ("engine", "fastpath"):
+            got = fresh["deep_pipeline"][mode]["done_at_ps"]
+            if got != golden:
+                print(f"pipeline {mode} done_at_ps {got} != golden {golden}")
+                failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
