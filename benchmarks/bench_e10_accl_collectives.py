@@ -4,54 +4,18 @@ Broadcast and allreduce over an 8-node HACC-style rack, FPGA-direct
 (ACCL) vs host-staged (PCIe + kernel TCP).  Shape claims: FPGA wins at
 every size; the advantage is largest for small messages (stack latency
 dominates) and persists at bulk sizes (PCIe staging still costs).
+
+The per-size cells and the table assembly live in
+``repro.exec.experiments`` so ``repro run e10 --parallel N`` executes
+the exact same code this bench does.
 """
 
-import numpy as np
-import pytest
-
-from repro.accl import FpgaCluster, HostStagedCluster
 from repro.bench import ResultTable
-
-_NODES = 8
-_SIZES = (1 << 8, 1 << 12, 1 << 16, 1 << 20, 1 << 23)  # bytes per node
-
-
-def _buffers(nbytes: int, seed: int = 0) -> list[np.ndarray]:
-    rng = np.random.default_rng(seed)
-    n_floats = max(_NODES, nbytes // 8)
-    return [rng.random(n_floats) for _ in range(_NODES)]
+from repro.exec import build_spec
 
 
 def _run_collectives() -> ResultTable:
-    fpga = FpgaCluster(_NODES)
-    host = HostStagedCluster(_NODES)
-    report = ResultTable(
-        f"E10: collectives on {_NODES} nodes, FPGA-direct vs host-staged",
-        ("collective", "message B", "FPGA us", "host us", "speedup"),
-    )
-    small_gain = large_gain = None
-    for nbytes in _SIZES:
-        buffers = _buffers(nbytes)
-        fb = fpga.broadcast(buffers)
-        hb = host.broadcast(buffers)
-        assert np.array_equal(fb.buffers[-1], hb.buffers[-1])
-        report.add("broadcast", buffers[0].nbytes, fb.time_s * 1e6,
-                   hb.time_s * 1e6, hb.time_s / fb.time_s)
-        fa = fpga.allreduce(buffers)
-        ha = host.allreduce(buffers)
-        assert np.allclose(fa.buffers[0], ha.buffers[0])
-        gain = ha.time_s / fa.time_s
-        if nbytes == _SIZES[0]:
-            small_gain = gain
-        if nbytes == _SIZES[-1]:
-            large_gain = gain
-        report.add("allreduce", buffers[0].nbytes, fa.time_s * 1e6,
-                   ha.time_s * 1e6, gain)
-    assert small_gain is not None and large_gain is not None
-    assert small_gain > 3, "stack overheads dominate small messages"
-    assert large_gain > 1.5, "PCIe staging still costs at bulk sizes"
-    assert small_gain > large_gain, "advantage peaks at small messages"
-    return report
+    return build_spec("e10").tables()[0]
 
 
 def test_e10_collectives(benchmark):

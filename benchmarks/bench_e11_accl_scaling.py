@@ -10,28 +10,19 @@ The per-cell logic and table assembly live in
 the exact same code this bench does.
 """
 
-import pytest
-
 from repro.bench import ResultTable
-from repro.exec.experiments import (
-    _E11_CROSSOVER_SIZES,
-    _E11_NODES,
-    e11_assemble,
-    e11_cell,
-)
+from repro.exec import build_spec
 
 
 def _run_scaling() -> ResultTable:
-    rows = [e11_cell({"kind": "scaling", "p": p}) for p in _E11_NODES]
-    return e11_assemble(rows)[0]
+    spec = build_spec("e11")
+    return spec.tables(configs=spec.part(kind="scaling"))[0]
 
 
 def _run_crossover() -> ResultTable:
-    rows = [
-        e11_cell({"kind": "crossover", "n_floats": n})
-        for n in _E11_CROSSOVER_SIZES
-    ]
-    return e11_assemble(rows)[1]
+    # e11's assemble always emits both tables; the crossover is [1].
+    spec = build_spec("e11")
+    return spec.tables(configs=spec.part(kind="crossover"))[1]
 
 
 def test_e11_scaling(benchmark):

@@ -5,84 +5,18 @@ each card of the device catalog — the feasibility table a deployment
 study leads with.  Shape claims: every default design fits at least one
 card; HBM-dependent designs are infeasible on the U250 (it has no HBM);
 utilization is non-trivial (>1% of some resource) but under budget.
+
+The per-design cells and the table assembly live in
+``repro.exec.experiments`` so ``repro run e12 --parallel N`` executes
+the exact same code this bench does.
 """
 
-import pytest
-
 from repro.bench import ResultTable
-from repro.core import DEVICE_CATALOG, ResourceVector
-from repro.fanns import FannsConfig
-from repro.relational import (
-    AggFunc,
-    AggSpec,
-    Aggregate,
-    Filter,
-    GroupByAggregate,
-    QueryPlan,
-    Transform,
-    col,
-    plan_kernels,
-)
-
-
-def _farview_pipeline_resources() -> ResourceVector:
-    plan = QueryPlan((
-        Transform("decrypt", ops_per_byte=2.0),
-        Filter((col("key") < 10) & (col("val0") > 0.5)),
-        GroupByAggregate("group", (
-            AggSpec(AggFunc.SUM, "value"),
-            AggSpec(AggFunc.COUNT, "value", alias="n"),
-        )),
-    ))
-    total = ResourceVector()
-    for kernel in plan_kernels(plan, row_nbytes=24):
-        total = total + kernel.spec.resources
-    return total
-
-
-def _microrec_resources() -> ResourceVector:
-    # Lookup control + DNN systolic array + HBM channels.
-    return ResourceVector(
-        lut=180_000, ff=260_000, bram_36k=400, uram=320, dsp=2_048,
-        hbm_channels=32,
-    )
+from repro.exec import build_spec
 
 
 def _run_resources() -> ResultTable:
-    designs = {
-        "farview offload pipeline": _farview_pipeline_resources(),
-        "fanns (default config)": FannsConfig().resources(m=16),
-        "fanns (generator max)": FannsConfig(
-            n_distance_pes=32, n_lut_pes=32, n_adc_pes=64,
-            n_hbm_channels=32,
-        ).resources(m=16),
-        "microrec": _microrec_resources(),
-    }
-    report = ResultTable(
-        "E12: accelerator resource demand vs device budgets",
-        ("design", "LUT", "DSP", "BRAM", "HBM ch",
-         "u250", "u280", "u55c"),
-    )
-    for name, demand in designs.items():
-        fits = {
-            key: device.fits(demand) for key, device in DEVICE_CATALOG.items()
-        }
-        report.add(
-            name, demand.lut, demand.dsp, demand.bram_36k,
-            demand.hbm_channels,
-            "fits" if fits["u250"] else "no",
-            "fits" if fits["u280"] else "no",
-            "fits" if fits["u55c"] else "no",
-        )
-        assert any(fits.values()), f"{name} fits nowhere"
-        if demand.hbm_channels > 0:
-            assert not fits["u250"], "U250 has no HBM"
-        util = demand.utilization(DEVICE_CATALOG["u55c"].budget)
-        finite = [v for v in util.values() if v != float("inf")]
-        # Fitting designs stay within budget (HBM may be fully used).
-        assert max(finite) <= 1.0 or not fits["u55c"]
-    report.note("budgets assume an 80% usable fraction after the shell")
-    return report
+    return build_spec("e12").tables()[0]
 
 
 def test_e12_resources(benchmark):

@@ -3,76 +3,28 @@
 HyperLogLog and Count-Min maintenance as stream kernels vs CPU cores:
 accuracy of the functional sketches plus the throughput comparison that
 motivates putting them in the datapath.
+
+The cells and table assembly live in ``repro.exec.experiments`` so
+``repro run e13 --parallel N`` executes the exact same code this bench
+does.
 """
 
-import numpy as np
-import pytest
-
-from repro.baselines import xeon_server
 from repro.bench import ResultTable
-from repro.operators import (
-    CountMinSketch,
-    HyperLogLog,
-    cpu_insert_time_s,
-    cpu_update_time_s,
-    hll_kernel_spec,
-    sketch_kernel_spec,
-)
-from repro.workloads import ZipfSampler
+from repro.exec import build_spec
+
+
+def _spec():
+    return build_spec("e13")
 
 
 def _run_accuracy() -> ResultTable:
-    rng = np.random.default_rng(7)
-    report = ResultTable(
-        "E13a: sketch accuracy (functional)",
-        ("sketch", "workload", "truth", "estimate", "rel err"),
-    )
-    for true_n in (10_000, 1_000_000):
-        hll = HyperLogLog(precision=12)
-        hll.add(rng.integers(0, 1 << 62, size=true_n))
-        est = hll.estimate()
-        err = abs(est - true_n) / true_n
-        report.add("HLL p=12", f"{true_n:,} distinct", true_n, est, err)
-        assert err < 4 * hll.relative_error_bound()
-    stream = ZipfSampler(100_000, 1.1, rng).sample(500_000)
-    cm = CountMinSketch(width=8192, depth=4)
-    cm.add(stream)
-    hot = np.arange(5)
-    true = np.array([(stream == key).sum() for key in hot])
-    est = cm.query(hot)
-    for key in range(5):
-        rel = (est[key] - true[key]) / max(1, true[key])
-        report.add("CM 8192x4", f"hot key {key}", int(true[key]),
-                   int(est[key]), rel)
-        assert est[key] >= true[key]
-        assert est[key] - true[key] <= cm.error_bound()
-    return report
+    spec = _spec()
+    return spec.tables(configs=spec.part(part="accuracy"))[0]
 
 
 def _run_throughput() -> ResultTable:
-    cpu = xeon_server()
-    report = ResultTable(
-        "E13b: sketch maintenance throughput (1B items)",
-        ("engine", "G items/s", "vs 1 CPU core"),
-    )
-    n = 1_000_000_000
-    hll_spec = hll_kernel_spec(precision=12)
-    fpga_rate = n / hll_spec.latency_seconds(n)
-    core_rate = n / cpu_insert_time_s(cpu, n, parallel=False)
-    socket_rate = n / cpu_insert_time_s(cpu, n, parallel=True)
-    report.add("FPGA HLL kernel", fpga_rate / 1e9, fpga_rate / core_rate)
-    report.add("1 CPU core", core_rate / 1e9, 1.0)
-    report.add("32 CPU cores", socket_rate / 1e9, socket_rate / core_rate)
-    cm_spec = sketch_kernel_spec(counters_per_item=4,
-                                 counter_bytes_total=256 * 1024)
-    cm_fpga = n / cm_spec.latency_seconds(n)
-    cm_core = n / cpu_update_time_s(cpu, n, 4, parallel=False)
-    report.add("FPGA CM kernel", cm_fpga / 1e9, cm_fpga / cm_core)
-    report.add("1 CPU core (CM)", cm_core / 1e9, 1.0)
-    assert fpga_rate > 4 * core_rate
-    assert cm_fpga > 4 * cm_core
-    report.note("FPGA kernels: II=1, 300 MHz, 8-lane (HLL) / banked (CM)")
-    return report
+    spec = _spec()
+    return spec.tables(configs=spec.part(part="throughput"))[0]
 
 
 def test_e13_accuracy(benchmark):
@@ -83,3 +35,8 @@ def test_e13_accuracy(benchmark):
 def test_e13_throughput(benchmark):
     table = benchmark.pedantic(_run_throughput, rounds=1, iterations=1)
     table.show()
+
+
+if __name__ == "__main__":
+    _run_accuracy().show()
+    _run_throughput().show()

@@ -5,49 +5,24 @@ relative to the 32-bit run) vs the memory-traffic speedup of reading
 fewer bit planes.  Shape claims: traffic speedup is 32/bits by
 construction; quality converges to full precision within a handful of
 bits on clusterable data.
+
+The per-precision cells and the table assembly live in
+``repro.exec.experiments`` so ``repro run e14 --parallel N`` executes
+the exact same code this bench does.
 """
 
-import numpy as np
-import pytest
-
 from repro.bench import ResultTable
-from repro.operators import anyprec_kmeans
-
-
-def _blobs(seed=2):
-    rng = np.random.default_rng(seed)
-    centers = rng.random((8, 16)).astype(np.float32) * 10
-    return np.concatenate(
-        [c + rng.normal(0, 0.15, (150, 16)).astype(np.float32)
-         for c in centers]
-    )
+from repro.exec import build_spec
 
 
 def _run_precision_sweep() -> ResultTable:
-    points = _blobs()
-    report = ResultTable(
-        "E14: any-precision k-means (k=8, 1200 x 16 points)",
-        ("bits", "traffic speedup", "objective vs 32-bit", "iterations"),
-    )
-    full = anyprec_kmeans(points, k=8, bits=32, seed=3)
-    baseline = max(full.full_precision_inertia, 1e-12)
-    ratios = []
-    for bits in (1, 2, 4, 8, 16, 32):
-        out = anyprec_kmeans(points, k=8, bits=bits, seed=3)
-        ratio = out.full_precision_inertia / baseline
-        ratios.append(ratio)
-        report.add(bits, out.traffic_speedup, ratio,
-                   out.result.n_iterations)
-    assert ratios[-1] == pytest.approx(1.0)
-    # A handful of bits reaches within 10% of full quality...
-    assert min(r for b, r in zip((1, 2, 4, 8, 16, 32), ratios)
-               if b >= 8) < 1.1
-    # ...while 1-bit data is measurably worse on this geometry.
-    assert ratios[0] > ratios[-1]
-    report.note("objective = full-precision inertia of learned centroids")
-    return report
+    return build_spec("e14").tables()[0]
 
 
 def test_e14_precision_sweep(benchmark):
     table = benchmark.pedantic(_run_precision_sweep, rounds=1, iterations=1)
     table.show()
+
+
+if __name__ == "__main__":
+    _run_precision_sweep().show()

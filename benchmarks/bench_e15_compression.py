@@ -3,70 +3,28 @@
 Dictionary and RLE codecs: compression ratios on typical column shapes
 (functional, exact round-trip) and the codec throughput comparison that
 justifies offloading them from HANA's CPUs to the accelerator.
+
+The cells and table assembly live in ``repro.exec.experiments`` so
+``repro run e15 --parallel N`` executes the exact same code this bench
+does.
 """
 
-import numpy as np
-import pytest
-
-from repro.baselines import xeon_server
 from repro.bench import ResultTable
-from repro.operators import (
-    codec_kernel_spec,
-    cpu_codec_time_s,
-    dict_decode,
-    dict_encode,
-    rle_decode,
-    rle_encode,
-)
-from repro.workloads import ZipfSampler, grouped_table
+from repro.exec import build_spec
+
+
+def _spec():
+    return build_spec("e15")
 
 
 def _run_ratios() -> ResultTable:
-    rng = np.random.default_rng(9)
-    report = ResultTable(
-        "E15a: compression ratios (functional codecs, exact round-trip)",
-        ("column", "rows", "codec", "ratio"),
-    )
-    low_card = rng.integers(0, 50, size=1_000_000)
-    encoded = dict_encode(low_card)
-    assert np.array_equal(dict_decode(encoded), low_card)
-    report.add("50 distinct values", 1_000_000, "dict", encoded.ratio)
-    assert encoded.ratio > 6
-
-    sorted_col = np.sort(ZipfSampler(200, 1.2, rng).sample(1_000_000))
-    rle = rle_encode(sorted_col)
-    assert np.array_equal(rle_decode(rle), sorted_col)
-    ratio = sorted_col.nbytes / rle.nbytes
-    report.add("sorted Zipf keys", 1_000_000, "rle", ratio)
-    assert ratio > 100
-
-    grouped = grouped_table(1_000_000, n_groups=1000, seed=1)["group"]
-    d = dict_encode(grouped)
-    report.add("1000-group fact key", 1_000_000, "dict", d.ratio)
-    return report
+    spec = _spec()
+    return spec.tables(configs=spec.part(part="ratios"))[0]
 
 
 def _run_throughput() -> ResultTable:
-    cpu = xeon_server()
-    report = ResultTable(
-        "E15b: codec throughput (GB/s of decoded data)",
-        ("codec", "FPGA GB/s", "1 core GB/s", "32 cores GB/s",
-         "FPGA vs core"),
-    )
-    n_values = 1 << 28  # 2 GiB of int64 values
-    nbytes = n_values * 8
-    for kind in ("dict-decode", "dict-encode", "rle-decode", "aes-encrypt"):
-        spec = codec_kernel_spec(kind)
-        fpga = nbytes / spec.latency_seconds(n_values)
-        core = nbytes / cpu_codec_time_s(cpu, nbytes, kind, parallel=False)
-        socket = nbytes / cpu_codec_time_s(cpu, nbytes, kind, parallel=True)
-        report.add(kind, fpga / 1e9, core / 1e9, socket / 1e9, fpga / core)
-        if kind in ("dict-encode", "aes-encrypt"):
-            # The compute-heavy directions are what HANA offloads.
-            assert fpga > core, f"{kind}: datapath beats a core"
-    report.note("FPGA codecs: 512-bit datapath, II=1 per 8 values")
-    report.note("decode directions are bandwidth-bound on both sides")
-    return report
+    spec = _spec()
+    return spec.tables(configs=spec.part(part="throughput"))[0]
 
 
 def test_e15_ratios(benchmark):
@@ -77,3 +35,8 @@ def test_e15_ratios(benchmark):
 def test_e15_throughput(benchmark):
     table = benchmark.pedantic(_run_throughput, rounds=1, iterations=1)
     table.show()
+
+
+if __name__ == "__main__":
+    _run_ratios().show()
+    _run_throughput().show()

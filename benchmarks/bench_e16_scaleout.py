@@ -6,74 +6,30 @@ with nodes while results stay exactly equal to the single-node index.
 (b) FleetRec: the hybrid GPU-FPGA pipeline against the single-FPGA
 MicroRec and the CPU baseline on a large-MLP model, where the GPU tier
 pays off.
+
+The cells and table assembly live in ``repro.exec.experiments`` so
+``repro run e16 --parallel N`` executes the exact same code this bench
+does.
 """
 
-import numpy as np
-import pytest
-
-from conftest import FANNS_LIST_SCALE
 from repro.bench import ResultTable
-from repro.fanns import DistributedFanns
-from repro.microrec import (
-    CpuRecommender,
-    EmbeddingTables,
-    FleetRecCluster,
-    MicroRecAccelerator,
-    V100,
-)
-from repro.workloads import lookup_trace, production_like_model
+from repro.exec import build_spec
+from repro.exec.experiments import e16_context
 
 
 def _run_distributed_fanns(ivfpq_index, vector_data) -> ResultTable:
-    report = ResultTable(
-        "E16a: sharded FANNS scale-out (nprobe=16, modeled 40M vectors)",
-        ("nodes", "QPS", "latency us", "speedup vs 1 node"),
-    )
-    single_ids = ivfpq_index.search(vector_data.queries, 10, 16)
-    qps_series = []
-    for nodes in (1, 2, 4, 8):
-        dist = DistributedFanns(
-            ivfpq_index, n_nodes=nodes, list_scale=FANNS_LIST_SCALE
-        )
-        out = dist.search(vector_data.queries, 10, 16)
-        assert np.array_equal(out.ids, single_ids), "sharding changed results"
-        qps_series.append(out.qps)
-        report.add(nodes, out.qps, out.query_latency_s * 1e6,
-                   out.qps / qps_series[0])
-    assert qps_series == sorted(qps_series), "QPS grows with nodes"
-    assert qps_series[-1] > 3 * qps_series[0]
-    return report
+    spec = build_spec("e16")
+    return spec.tables(
+        e16_context(ivfpq_index, vector_data),
+        configs=spec.part(part="fanns"),
+    )[0]
 
 
 def _run_fleetrec() -> ResultTable:
-    # A large-MLP model: the regime where a GPU DNN tier pays off.
-    spec = production_like_model(n_tables=47, max_rows=500_000, seed=51)
-    spec = type(spec)(
-        table_rows=spec.table_rows,
-        embedding_dim=spec.embedding_dim,
-        mlp_layers=(4096, 2048, 1024),
-    )
-    tables = EmbeddingTables(spec, seed=51)
-    trace = lookup_trace(spec, batch_size=512, seed=52)
-    report = ResultTable(
-        "E16b: FleetRec vs MicroRec vs CPU (4096-2048-1024 MLP, batch 512)",
-        ("engine", "latency us", "QPS"),
-    )
-    cpu_out = CpuRecommender(tables, seed=6).infer(trace)
-    micro_out = MicroRecAccelerator(tables, seed=6).infer(trace)
-    fleet = FleetRecCluster(tables, n_lookup_nodes=2, n_gpu_nodes=2,
-                            gpu=V100, seed=6)
-    fleet_out = fleet.infer(trace)
-    assert np.allclose(fleet_out.logits, cpu_out.logits, rtol=1e-3,
-                       atol=1e-3)
-    report.add("CPU", cpu_out.latency_s * 1e6, cpu_out.qps)
-    report.add("MicroRec (1 FPGA)", micro_out.latency_s * 1e6, micro_out.qps)
-    report.add("FleetRec (2 FPGA + 2 GPU)", fleet_out.latency_s * 1e6,
-               fleet_out.qps)
-    assert fleet_out.qps > micro_out.qps, \
-        "GPU DNN tier lifts throughput for big MLPs"
-    assert micro_out.latency_s < cpu_out.latency_s
-    return report
+    # The FleetRec cell builds its own model and ignores the FANNS
+    # context, so skip prepare() by passing an empty one.
+    spec = build_spec("e16")
+    return spec.tables({}, configs=spec.part(part="fleetrec"))[0]
 
 
 def test_e16_distributed_fanns(benchmark, ivfpq_index, vector_data):

@@ -3,55 +3,18 @@
 The NIC-side KV server vs a software server over value sizes: identical
 results, ~10x throughput (requests never touch host cores) and
 several-fold latency.
+
+The per-size cells and the table assembly live in
+``repro.exec.experiments`` so ``repro run e17 --parallel N`` executes
+the exact same code this bench does.
 """
 
-import numpy as np
-import pytest
-
 from repro.bench import ResultTable
-from repro.kvstore import HashTable, SmartNicKvServer, SoftwareKvServer
-
-
-def _ops(n, seed=0):
-    rng = np.random.default_rng(seed)
-    ops = []
-    for i in range(n):
-        key = int(rng.integers(0, 10_000))
-        if i % 10 == 0:
-            ops.append(("put", key, int(rng.integers(0, 1 << 30))))
-        else:
-            ops.append(("get", key, 0))
-    return ops
+from repro.exec import build_spec
 
 
 def _run_kvdirect() -> ResultTable:
-    report = ResultTable(
-        "E17: KV serving, smart NIC vs software server (90% GET)",
-        ("value B", "NIC Mops/s", "SW Mops/s", "throughput x",
-         "NIC lat us", "SW lat us"),
-    )
-    ops = _ops(20_000)
-    gains = []
-    for value_bytes in (16, 64, 256, 1024):
-        nic = SmartNicKvServer(
-            HashTable(1 << 15, 8), value_bytes=value_bytes,
-            n_memory_channels=4,
-        )
-        sw = SoftwareKvServer(HashTable(1 << 15, 8), value_bytes=value_bytes)
-        nic_out = nic.serve(ops)
-        sw_out = sw.serve(ops)
-        assert nic_out.values == sw_out.values
-        gain = nic_out.ops_per_sec / sw_out.ops_per_sec
-        gains.append(gain)
-        report.add(
-            value_bytes, nic_out.ops_per_sec / 1e6,
-            sw_out.ops_per_sec / 1e6, gain,
-            nic_out.op_latency_s * 1e6, sw_out.op_latency_s * 1e6,
-        )
-    assert min(gains) > 3, "NIC serving wins at every value size"
-    assert max(gains) > 8, "order-of-magnitude regime exists"
-    report.note("software server is capped by per-request kernel-stack work")
-    return report
+    return build_spec("e17").tables()[0]
 
 
 def test_e17_kvdirect(benchmark):

@@ -4,94 +4,45 @@
 the write-burst study under CPU compaction (various core splits) and
 the FPGA merge-tree offload.  Shape claims: the offload sustains the
 highest write throughput; CPU splits face the stall-vs-ingest dilemma.
+
+The WA measurement lives in the spec's ``prepare()``; the cells and
+table assembly live in ``repro.exec.experiments`` so
+``repro run e18 --parallel N`` executes the exact same code this bench
+does.
 """
 
-import numpy as np
-import pytest
-
-from repro.baselines import xeon_server
 from repro.bench import ResultTable
-from repro.lsm import (
-    CompactionExecutor,
-    LsmStore,
-    cpu_compaction_bandwidth,
-    fpga_compaction_bandwidth,
-    run_offload_study,
-)
+from repro.exec import build_spec
 
 
-def _measure_write_amplification() -> tuple[float, ResultTable]:
-    store = LsmStore(memtable_limit=512, level0_limit=4, fanout=4)
-    rng = np.random.default_rng(3)
-    n = 60_000
-    keys = rng.integers(0, 20_000, size=n)
-    values = rng.integers(0, 1 << 30, size=n)
-    store.put_batch(keys, values)
-    store.flush()
-    table = ResultTable(
-        "E18a: LSM trace (real store, 60k writes, 20k key space)",
-        ("metric", "value"),
-    )
-    table.add("flushes (bytes)", store.bytes_flushed)
-    table.add("compactions", len(store.compactions))
-    table.add("compacted (bytes)", store.bytes_compacted)
-    table.add("write amplification", store.write_amplification)
-    table.add("live keys", store.n_live_keys)
-    assert store.write_amplification > 1.0
-    assert store.n_live_keys == len(np.unique(keys))
-    return store.write_amplification, table
+def _spec():
+    return build_spec("e18")
 
 
-def _run_offload(write_amplification: float) -> ResultTable:
-    cpu = xeon_server()
-    n_writes = 60_000_000
-    executors = [
-        CompactionExecutor(
-            "cpu 4 cores", cpu_compaction_bandwidth(cpu, 4), 4
-        ),
-        CompactionExecutor(
-            "cpu 8 cores", cpu_compaction_bandwidth(cpu, 8), 8
-        ),
-        CompactionExecutor(
-            "cpu 16 cores", cpu_compaction_bandwidth(cpu, 16), 16
-        ),
-        CompactionExecutor(
-            "fpga 2 merge trees", fpga_compaction_bandwidth(2), 0
-        ),
-    ]
-    report = ResultTable(
-        f"E18b: sustained writes under compaction "
-        f"(WA={write_amplification:.1f})",
-        ("executor", "M writes/s", "stall %", "total s"),
-    )
-    rates = {}
-    for executor in executors:
-        result = run_offload_study(n_writes, write_amplification, executor)
-        rates[executor.name] = result.sustained_writes_per_sec
-        report.add(
-            executor.name, result.sustained_writes_per_sec / 1e6,
-            result.stall_fraction * 100, result.total_time_s,
-        )
-    assert rates["fpga 2 merge trees"] == max(rates.values()), \
-        "offload sustains the highest ingest"
-    report.note("fpga keeps all foreground cores AND drains at 19.2 GB/s")
-    return report
+def _run_trace() -> ResultTable:
+    spec = _spec()
+    return spec.tables(configs=spec.part(part="trace"))[0]
+
+
+def _run_offload() -> ResultTable:
+    spec = _spec()
+    return spec.tables(configs=spec.part(part="offload"))[0]
+
+
+def _run_both() -> tuple[ResultTable, ResultTable]:
+    # One prepare() (the LSM trace) feeds both tables.
+    tables = _spec().tables()
+    return tables[0], tables[1]
 
 
 def test_e18_lsm_trace_and_offload(benchmark):
-    def run():
-        wa, trace_table = _measure_write_amplification()
-        offload_table = _run_offload(wa)
-        return trace_table, offload_table
-
     trace_table, offload_table = benchmark.pedantic(
-        run, rounds=1, iterations=1
+        _run_both, rounds=1, iterations=1
     )
     trace_table.show()
     offload_table.show()
 
 
 if __name__ == "__main__":
-    wa, t = _measure_write_amplification()
-    t.show()
-    _run_offload(wa).show()
+    for t in _spec().tables():
+        t.show()

@@ -6,70 +6,18 @@ Shape claims: offloaded tenants aggregate several-fold more QPS than
 fetch-all tenants on the same node (the wire, not the memory, is what
 fetch saturates), and per-query latency under load is several-fold
 lower.
+
+The per-load cells and the table assembly live in
+``repro.exec.experiments`` so ``repro run e19 --parallel N`` executes
+the exact same code this bench does.
 """
 
-import pytest
-
 from repro.bench import ResultTable
-from repro.farview import FarviewServer, simulate_clients
-from repro.obs import Profiler
-from repro.relational import (
-    AggFunc,
-    AggSpec,
-    Aggregate,
-    Filter,
-    QueryPlan,
-    Table,
-    col,
-)
-from repro.workloads import uniform_table
+from repro.exec import build_spec
 
 
 def _run_multitenant() -> ResultTable:
-    server = FarviewServer()
-    server.store("t", Table(uniform_table(500_000, n_payload_cols=2)))
-    plan = QueryPlan((
-        Filter(col("key") < 10_000),
-        Aggregate((AggSpec(AggFunc.SUM, "val0"),)),
-    ))
-    report = ResultTable(
-        "E19: tenants on one smart-memory node (event simulation)",
-        ("clients", "mode", "agg QPS", "mean lat ms",
-         "mem busy", "net busy"),
-    )
-    ratios = []
-    for n_clients in (1, 4, 16):
-        off = simulate_clients(server, plan, "t", n_clients, mode="offload")
-        fetch = simulate_clients(server, plan, "t", n_clients, mode="fetch")
-        ratios.append(off.aggregate_qps / fetch.aggregate_qps)
-        for out in (off, fetch):
-            report.add(
-                n_clients, out.mode, out.aggregate_qps,
-                out.mean_latency_s * 1e3,
-                round(out.memory_busy_fraction, 2),
-                round(out.network_busy_fraction, 2),
-            )
-    assert min(ratios) > 3, "offload tenants aggregate much more QPS"
-    report.note("offload is DRAM-scan bound; fetch saturates the 100G wire")
-
-    # Busy/stall breakdown of the most contended point: a profiled rerun
-    # of the 16-client offload case puts the shared DRAM and egress
-    # ports on trace tracks.
-    prof = Profiler()
-    simulate_clients(server, plan, "t", 16, mode="offload",
-                     tracer=prof.tracer)
-    profile = prof.report()
-    print()
-    print(profile.render())
-    snapshot = {
-        key: value
-        for key, value in prof.tracer.registry.snapshot().items()
-        if key.startswith(("memory.", "sim.events"))
-    }
-    report.add_metrics(snapshot, title="obs metrics (16-client offload)")
-    dram = profile.component("memory:dram-agg")
-    assert dram.busy_fraction > 0.5, "offload at 16 clients is DRAM-bound"
-    return report
+    return build_spec("e19").tables()[0]
 
 
 def test_e19_multitenant(benchmark):

@@ -4,98 +4,29 @@ Regenerates the spatial-vs-temporal argument: operator throughput as a
 function of initiation interval and unroll factor, plus the ablation
 that the burst-granular event simulation agrees with the per-item one
 and with the analytic dataflow solver.
+
+The per-pragma cells and the table assembly live in
+``repro.exec.experiments`` so ``repro run e1 --parallel N`` executes
+the exact same code this bench does.
 """
 
-import pytest
-
 from repro.bench import ResultTable
-from repro.core import (
-    Burst,
-    BurstKernel,
-    DataflowGraph,
-    ItemKernel,
-    LoopNest,
-    Pragmas,
-    Simulator,
-    Sink,
-    Source,
-    Stream,
-    synthesize,
-)
+from repro.exec import build_spec
 
-_LOOP = LoopNest(
-    name="stream-op",
-    trip_count=1_000_000,
-    ops={"mem_read": 2, "mul": 1, "add": 1, "mem_write": 1},
-)
+
+def _spec():
+    return build_spec("e1")
 
 
 def _run_pipeline_sweep() -> ResultTable:
-    table = ResultTable(
-        "E1: throughput vs pragmas (1M-item streaming operator)",
-        ("pragmas", "II", "unroll", "M items/s", "speedup vs temporal",
-         "LUTs"),
-    )
-    temporal = synthesize(_LOOP, Pragmas(pipeline=False))
-    base_rate = temporal.throughput_items_per_sec()
-    sweeps = [
-        ("temporal", Pragmas(pipeline=False)),
-        ("II=4", Pragmas(pipeline=True, pipeline_ii=4)),
-        ("II=2", Pragmas(pipeline=True, pipeline_ii=2)),
-        ("II=1", Pragmas(pipeline=True, pipeline_ii=1)),
-        ("II=1 x4", Pragmas(pipeline=True, unroll=4)),
-        ("II=1 x16", Pragmas(pipeline=True, unroll=16)),
-        ("II=1 x64", Pragmas(pipeline=True, unroll=64)),
-    ]
-    rates = []
-    for label, pragmas in sweeps:
-        spec = synthesize(_LOOP, pragmas)
-        rate = spec.throughput_items_per_sec()
-        rates.append(rate)
-        table.add(
-            label, spec.ii, spec.unroll, rate / 1e6, rate / base_rate,
-            spec.resources.lut,
-        )
-    assert rates == sorted(rates), "more parallelism must not slow down"
-    assert rates[-1] / rates[0] > 100, "unrolled pipeline >100x temporal"
-    return table
+    spec = _spec()
+    return spec.tables(configs=spec.part(part="sweep"))[0]
 
 
 def _run_timing_ablation() -> ResultTable:
     """Burst-mode, item-mode and the analytic solver must agree."""
-    table = ResultTable(
-        "E1b: timing-model ablation (same kernel, three models)",
-        ("model", "time for 20k items (us)"),
-    )
-    spec = synthesize(_LOOP, Pragmas(pipeline=True, pipeline_ii=2))
-    n = 20_000
-
-    sim_item = Simulator()
-    a_in, a_out = Stream(sim_item, 4), Stream(sim_item, 4)
-    Source(sim_item, a_in, range(n))
-    ItemKernel(sim_item, spec, lambda x: x, a_in, a_out)
-    sink_item = Sink(sim_item, a_out)
-    sim_item.run()
-    t_item = sink_item.done_at_ps / 1e6
-
-    sim_burst = Simulator()
-    b_in, b_out = Stream(sim_burst, 4), Stream(sim_burst, 4)
-    Source(sim_burst, b_in, [Burst(payload=None, count=n)])
-    BurstKernel(sim_burst, spec, lambda b: b, b_in, b_out)
-    sink_burst = Sink(sim_burst, b_out)
-    sim_burst.run()
-    t_burst = sink_burst.done_at_ps / 1e6
-
-    graph = DataflowGraph()
-    graph.add(spec, source=True)
-    t_solver = graph.solve().time_for_items(n) * 1e6
-
-    table.add("per-item events", t_item)
-    table.add("burst events", t_burst)
-    table.add("analytic solver", t_solver)
-    assert t_item == t_burst, "burst abstraction changed total cycles"
-    assert abs(t_solver - t_item) / t_item < 0.01
-    return table
+    spec = _spec()
+    return spec.tables(configs=spec.part(part="ablation"))[0]
 
 
 def test_e1_pipeline_sweep(benchmark):

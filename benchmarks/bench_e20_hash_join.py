@@ -5,63 +5,19 @@ large in-memory joins, CPU and FPGA land within a small factor of each
 other (both memory-bound); (b) the FPGA is genuinely useful when the
 build side fits on-chip or the join is fused into a streaming
 pipeline, where probes ride along at line rate.
+
+The functional spot check lives in the spec's ``prepare()``; the cells
+and table assembly live in ``repro.exec.experiments`` so
+``repro run e20 --parallel N`` executes the exact same code this bench
+does.
 """
 
-import numpy as np
-import pytest
-
-from repro.baselines import xeon_server
 from repro.bench import ResultTable
-from repro.relational import (
-    FpgaJoinModel,
-    Table,
-    cpu_join_time_s,
-    hash_join,
-)
-
-
-def _run_functional_check() -> None:
-    rng = np.random.default_rng(2)
-    probe = Table({
-        "k": rng.integers(0, 1000, size=50_000).astype(np.int64),
-        "p": rng.random(50_000),
-    })
-    build = Table({
-        "k": np.arange(1000, dtype=np.int64),
-        "b": rng.integers(0, 100, size=1000).astype(np.int64),
-    })
-    out = hash_join(probe, build, "k", "k")
-    assert out.n_rows == probe.n_rows  # unique build keys cover everything
-    assert np.array_equal(out["b"], build["b"][probe["k"]])
+from repro.exec import build_spec
 
 
 def _run_join_study() -> ResultTable:
-    _run_functional_check()
-    cpu = xeon_server()
-    model = FpgaJoinModel()
-    n_probe = 100_000_000
-    report = ResultTable(
-        "E20: hash join, 100M probes (modeled)",
-        ("build rows", "placement", "FPGA M tuples/s", "CPU M tuples/s",
-         "FPGA/CPU"),
-    )
-    ratios = {}
-    for n_build in (100_000, 1_000_000, 100_000_000):
-        timing = model.join_time(n_probe, n_build, 16, 16)
-        fpga_rate = (n_probe + n_build) / timing.total_s
-        cpu_rate = (n_probe + n_build) / cpu_join_time_s(
-            cpu, n_probe, n_build, 16, 16
-        )
-        ratios[timing.placement] = fpga_rate / cpu_rate
-        report.add(n_build, timing.placement, fpga_rate / 1e6,
-                   cpu_rate / 1e6, fpga_rate / cpu_rate)
-    # The CIDR verdict: small build sides (BRAM) strongly favor the
-    # FPGA; huge standalone joins are contested, not dominated.
-    assert ratios["bram"] > 2
-    assert 0.2 < ratios["hbm"] < 5
-    report.note("streaming-fused probes additionally ride at line rate "
-                f"({model.streaming_probe_rate(100_000, 16) / 1e6:.0f} M/s)")
-    return report
+    return build_spec("e20").tables()[0]
 
 
 def test_e20_hash_join(benchmark):

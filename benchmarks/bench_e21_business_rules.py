@@ -4,60 +4,19 @@ Rule-count sweep: CPU evaluation time grows linearly with the rule set;
 the spatial matcher's per-query latency stays flat (rules evaluate in
 parallel comparator banks) until the fabric runs out — which the device
 model locates.
+
+The functional spot check lives in the spec's ``prepare()``; the cells
+and table assembly live in ``repro.exec.experiments`` so
+``repro run e21 --parallel N`` executes the exact same code this bench
+does.
 """
 
-import numpy as np
-import pytest
-
-from repro.baselines import xeon_server
 from repro.bench import ResultTable
-from repro.core import ALVEO_U250
-from repro.operators import (
-    cpu_match_time_s,
-    random_rules,
-    rules_kernel_spec,
-)
-
-_N_ATTRS = 8
-_N_QUERIES = 100_000
+from repro.exec import build_spec
 
 
 def _run_rules_sweep() -> ResultTable:
-    cpu = xeon_server()
-    report = ResultTable(
-        "E21: rule matching, 100k queries over growing rule sets",
-        ("rules", "CPU ms (1 core)", "FPGA ms", "speedup",
-         "FPGA LUTs", "fits U250"),
-    )
-    # Functional spot check on a small set.
-    rules = random_rules(200, _N_ATTRS, seed=7)
-    rng = np.random.default_rng(8)
-    queries = rng.random((500, _N_ATTRS))
-    best = rules.best_match(queries)
-    match = rules.matches(queries)
-    assert ((best >= 0) == match.any(axis=1)).all()
-
-    fpga_times = []
-    speedups = []
-    for n_rules in (256, 1024, 4096, 16384):
-        spec = rules_kernel_spec(n_rules, _N_ATTRS)
-        fpga_s = spec.latency_seconds(_N_QUERIES)
-        cpu_s = cpu_match_time_s(cpu, _N_QUERIES, n_rules, _N_ATTRS)
-        fits = ALVEO_U250.fits(spec.resources)
-        fpga_times.append(fpga_s)
-        speedups.append(cpu_s / fpga_s)
-        report.add(n_rules, cpu_s * 1e3, fpga_s * 1e3, cpu_s / fpga_s,
-                   spec.resources.lut, "yes" if fits else "no")
-    # Flat FPGA time, linear CPU time -> speedup grows with rules.
-    assert max(fpga_times) < 1.02 * min(fpga_times)
-    assert speedups == sorted(speedups)
-    assert speedups[-1] > 50
-    # The fabric eventually caps the rule count.
-    assert not ALVEO_U250.fits(
-        rules_kernel_spec(300_000, _N_ATTRS).resources
-    )
-    report.note("spatial evaluation: latency independent of rule count")
-    return report
+    return build_spec("e21").tables()[0]
 
 
 def test_e21_business_rules(benchmark):

@@ -30,17 +30,12 @@ the exact same code this bench does.
 """
 
 from repro.bench import ResultTable
-from repro.exec.experiments import e22_assemble, e22_cell, e22_rates
+from repro.exec import build_spec
 
 
 def _run_fault_tolerance() -> ResultTable:
-    rates = e22_rates()
-    rows = [
-        e22_cell({"workload": workload, "rate": rate})
-        for workload in ("farview", "accl")
-        for rate in rates
-    ]
-    return e22_assemble(rows)[0]
+    # build_spec reads REPRO_FAULT_RATE at call time, like the CLI.
+    return build_spec("e22").tables()[0]
 
 
 def test_e22_fault_tolerance(benchmark):

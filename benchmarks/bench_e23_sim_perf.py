@@ -14,161 +14,25 @@ regressions are.  Three microbenchmarks:
   :class:`~repro.exec.SweepRunner` serially and with 4 workers; rows
   must match exactly (determinism) while the wall clock drops.
 
-Results are written as JSON (``BENCH_e23.json`` in the repository root
-by default; override with ``REPRO_BENCH_OUT``).  CI runs the smoke
-variant (``REPRO_BENCH_SMOKE=1``, smaller sizes) and fails if
-events/sec regresses more than 30% against the committed baseline —
-see ``tools/check_e23_regression.py``.
+The workloads live in the registry spec (``repro.exec.experiments.perf``,
+``repro run e23``); this shim adds the JSON side effects.  Results are
+written as JSON (``BENCH_e23.json`` in the repository root by default;
+override with ``REPRO_BENCH_OUT``).  CI runs the smoke variant
+(``REPRO_BENCH_SMOKE=1``, smaller sizes) and fails if events/sec
+regresses more than 30% against the committed baseline — see
+``tools/check_e23_regression.py``.
 """
 
 import json
 import os
-import time
 from pathlib import Path
 
 from repro.bench import ResultTable
-from repro.core import ItemKernel, KernelSpec, Simulator, Sink, Source, Stream
-from repro.core.fastpath import set_fast_forward
-from repro.exec import SweepRunner, build_spec
+from repro.exec import build_spec
+from repro.exec.experiments.perf import E23_SEED_BASELINE, e23_smoke
 
-_SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
-
-# Workload sizes (smoke keeps CI fast; full mode produces the numbers
-# committed in BENCH_e23.json).
-_STORM_PROCS = 200 if _SMOKE else 1_000
-_STORM_TIMEOUTS = 50 if _SMOKE else 400
-_PIPE_ITEMS = 2_000 if _SMOKE else 20_000
-_PIPE_KERNELS = 8
-_SWEEP_WORKERS = 4
-
-# Seed-engine throughput on this workload shape, measured before the
-# hot-path/fast-forward work landed ("before" for the JSON's speedup
-# block; the committed "after" numbers live next to it).
-_SEED_BASELINE = {
-    "timeout_storm_events_per_sec": 348_622,
-    "pipeline_item_stages_per_sec": 69_593,
-    "pipeline_done_at_ps": 66_763_323,
-}
-
-
-def _timeout_storm(procs: int, timeouts: int) -> dict:
-    """Events/sec through the heap with nothing but pooled timeouts."""
-    sim = Simulator()
-
-    def sleeper(pid: int):
-        # Vary the delay so heap order actually churns.
-        step = 100 + (pid % 7) * 13
-        for _ in range(timeouts):
-            yield sim.delay(step)
-
-    for pid in range(procs):
-        sim.spawn(sleeper(pid), name=f"sleeper{pid}")
-    events = procs * timeouts
-    t0 = time.perf_counter()
-    sim.run()
-    wall = time.perf_counter() - t0
-    return {
-        "events": events,
-        "wall_s": wall,
-        "events_per_sec": events / wall,
-    }
-
-
-def _build_pipeline(sim: Simulator, n_items: int) -> Sink:
-    streams = [
-        Stream(sim, depth=4, name=f"s{i}") for i in range(_PIPE_KERNELS + 1)
-    ]
-    Source(sim, streams[0], range(n_items))
-    for i in range(_PIPE_KERNELS):
-        ItemKernel(
-            sim,
-            KernelSpec(name=f"k{i}", ii=1, depth=4),
-            lambda x: x,
-            streams[i],
-            streams[i + 1],
-        )
-    return Sink(sim, streams[-1])
-
-
-def _deep_pipeline(n_items: int) -> dict:
-    """Item-stages/sec for the same pipeline, engine vs fast-forward."""
-    item_stages = n_items * _PIPE_KERNELS
-    modes = {}
-    for mode, enabled in (("engine", False), ("fastpath", True)):
-        set_fast_forward(enabled)
-        try:
-            sim = Simulator()
-            sink = _build_pipeline(sim, n_items)
-            t0 = time.perf_counter()
-            sim.run()
-            wall = time.perf_counter() - t0
-        finally:
-            set_fast_forward(None)
-        assert sink.items == n_items
-        modes[mode] = {
-            "wall_s": wall,
-            "item_stages_per_sec": item_stages / wall,
-            "done_at_ps": sink.done_at_ps,
-        }
-    assert modes["engine"]["done_at_ps"] == modes["fastpath"]["done_at_ps"], (
-        "fast-forward must preserve the exact completion time"
-    )
-    return {"item_stages": item_stages, **modes}
-
-
-def _sweep_runner() -> dict:
-    """e22 grid: serial vs parallel wall clock, identical rows."""
-    t0 = time.perf_counter()
-    serial = SweepRunner(build_spec("e22")).run()
-    serial_s = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    par = SweepRunner(build_spec("e22"), parallel=_SWEEP_WORKERS).run()
-    parallel_s = time.perf_counter() - t0
-    assert par.rows == serial.rows, "parallel sweep must match serial"
-    return {
-        "experiment": "e22",
-        "cells": serial.cells,
-        "workers": _SWEEP_WORKERS,
-        "serial_s": serial_s,
-        "parallel_s": parallel_s,
-        "rows_match": True,
-    }
-
-
-def _cached_rerun(exp_id: str) -> dict:
-    """Cold compute vs warm cached re-run for one experiment."""
-    import tempfile
-
-    from repro.exec import ResultCache
-
-    with tempfile.TemporaryDirectory() as tmp:
-        cache = ResultCache(tmp)
-        t0 = time.perf_counter()
-        cold = SweepRunner(build_spec(exp_id), cache=cache).run()
-        cold_s = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        warm = SweepRunner(build_spec(exp_id), cache=cache).run()
-        warm_s = time.perf_counter() - t0
-    assert cold.rows == warm.rows
-    assert warm.hits == warm.cells and warm.computed == 0
-    return {
-        "cold_s": cold_s,
-        "cached_s": warm_s,
-        "speedup": cold_s / warm_s,
-    }
-
-
-def _end_to_end() -> dict:
-    """Experiment-level wins: cached re-runs of e11 and e22.
-
-    The parallel pool can only beat serial with more than one CPU
-    (``cpus`` is recorded at the top level so the sweep timings are
-    interpretable); the cache pays off regardless.
-    """
-    return {
-        "e11": _cached_rerun("e11"),
-        "e22": _cached_rerun("e22"),
-    }
+# Smoke sizes for the bench smoke suite (no JSON, CI-fast).
+_SMOKE_CONFIG = {"storm_procs": 100, "storm_timeouts": 20, "pipe_items": 500}
 
 
 def _out_path() -> Path:
@@ -179,57 +43,32 @@ def _out_path() -> Path:
 
 
 def _run_sim_perf(
-    write: bool = True,
-    storm_procs: int = _STORM_PROCS,
-    storm_timeouts: int = _STORM_TIMEOUTS,
-    pipe_items: int = _PIPE_ITEMS,
+    write: bool = True, config: dict | None = None
 ) -> ResultTable:
-    storm = _timeout_storm(storm_procs, storm_timeouts)
-    pipe = _deep_pipeline(pipe_items)
-    sweep = _sweep_runner()
-    e2e = _end_to_end()
-
-    report = ResultTable(
-        "E23: simulator performance (events/sec and sweep wall clock)",
-        ("workload", "metric", "value"),
-    )
-    report.add("timeout storm", "events/sec",
-               round(storm["events_per_sec"]))
-    report.add("deep pipeline (engine)", "item-stages/sec",
-               round(pipe["engine"]["item_stages_per_sec"]))
-    report.add("deep pipeline (fastpath)", "item-stages/sec",
-               round(pipe["fastpath"]["item_stages_per_sec"]))
-    report.add("e22 sweep serial", "seconds",
-               round(sweep["serial_s"], 3))
-    report.add(f"e22 sweep x{sweep['workers']}", "seconds",
-               round(sweep["parallel_s"], 3))
-    report.add("e11 end-to-end cached", "speedup",
-               round(e2e["e11"]["speedup"], 1))
-    report.add("e22 end-to-end cached", "speedup",
-               round(e2e["e22"]["speedup"], 1))
-    report.note(
-        "fastpath and engine agree on done_at_ps="
-        f"{pipe['engine']['done_at_ps']}; sweep rows byte-identical "
-        "serial vs parallel"
-    )
+    spec = build_spec("e23")
+    if config is None:
+        config = spec.grid[0]
+    row = spec.rows(configs=[config])[0]
+    report = spec.assemble([row])[0]
 
     if write:
+        storm, pipe = row["storm"], row["pipe"]
         payload = {
             "schema": "bench_e23/1",
-            "mode": "smoke" if _SMOKE else "full",
+            "mode": "smoke" if e23_smoke() else "full",
             "cpus": os.cpu_count(),
             "timeout_storm": storm,
             "deep_pipeline": pipe,
-            "sweep": sweep,
-            "end_to_end": e2e,
-            "seed_baseline": _SEED_BASELINE,
+            "sweep": row["sweep"],
+            "end_to_end": row["e2e"],
+            "seed_baseline": E23_SEED_BASELINE,
             "speedup_vs_seed": {
                 "timeout_storm": storm["events_per_sec"]
-                / _SEED_BASELINE["timeout_storm_events_per_sec"],
+                / E23_SEED_BASELINE["timeout_storm_events_per_sec"],
                 "pipeline_engine": pipe["engine"]["item_stages_per_sec"]
-                / _SEED_BASELINE["pipeline_item_stages_per_sec"],
+                / E23_SEED_BASELINE["pipeline_item_stages_per_sec"],
                 "pipeline_fastpath": pipe["fastpath"]["item_stages_per_sec"]
-                / _SEED_BASELINE["pipeline_item_stages_per_sec"],
+                / E23_SEED_BASELINE["pipeline_item_stages_per_sec"],
             },
         }
         out = _out_path()
@@ -240,9 +79,7 @@ def _run_sim_perf(
 
 def _run_smoke() -> ResultTable:
     """Small sizes, no JSON side effects — for the bench smoke suite."""
-    return _run_sim_perf(
-        write=False, storm_procs=100, storm_timeouts=20, pipe_items=500
-    )
+    return _run_sim_perf(write=False, config=_SMOKE_CONFIG)
 
 
 def test_e23_sim_perf(benchmark):

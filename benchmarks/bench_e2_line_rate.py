@@ -6,65 +6,17 @@ tops out on per-frame stack overheads and core limits.  We push a
 filter+aggregate over a 100 GbE stream through (a) the FPGA operator
 pipeline and (b) the CPU model behind a kernel TCP stack, and compare
 sustained goodput.
+
+The cell and table assembly live in ``repro.exec.experiments`` so
+``repro run e2`` executes the exact same code this bench does.
 """
 
-import pytest
-
-from repro.baselines import xeon_server
 from repro.bench import ResultTable
-from repro.network import ethernet_100g, fpga_tcp, kernel_tcp
-from repro.relational import (
-    Filter,
-    Project,
-    QueryPlan,
-    Table,
-    col,
-    cpu_cost_s,
-    make_operator_kernel,
-)
-from repro.workloads import uniform_table
-
-_N_ROWS = 4_000_000
+from repro.exec import build_spec
 
 
 def _run_line_rate() -> ResultTable:
-    table_data = Table(uniform_table(_N_ROWS, n_payload_cols=2, seed=2))
-    row_bytes = table_data.schema.row_nbytes
-    plan = QueryPlan((
-        Filter(col("key") < 500_000),
-        Project(("key", "val0")),
-    ))
-    line = ethernet_100g()
-    stream_bytes = table_data.nbytes
-
-    # FPGA: operator kernels in the network datapath.
-    filter_kernel = make_operator_kernel(plan.operators[0], row_bytes)
-    fpga_rate_rows = filter_kernel.spec.throughput_items_per_sec()
-    fpga_goodput = min(
-        fpga_rate_rows * row_bytes,
-        fpga_tcp().goodput_bytes_per_sec(64 * 1024),
-    )
-
-    # CPU: frames cross the kernel stack, then the engine scans.
-    cpu = xeon_server()
-    stack_goodput = kernel_tcp().goodput_bytes_per_sec(64 * 1024)
-    engine_s = cpu_cost_s(plan, table_data, cpu)
-    engine_goodput = stream_bytes / engine_s
-    cpu_goodput = min(stack_goodput, engine_goodput)
-
-    report = ResultTable(
-        "E2: sustained goodput for an in-stream filter+project",
-        ("engine", "goodput GB/s", "fraction of 100G line rate"),
-    )
-    wire = line.bandwidth_bytes_per_sec
-    report.add("100 GbE line rate", wire / 1e9, 1.0)
-    report.add("FPGA datapath", fpga_goodput / 1e9, fpga_goodput / wire)
-    report.add("CPU + kernel TCP", cpu_goodput / 1e9, cpu_goodput / wire)
-    report.note("FPGA kernel: 512-bit datapath, II=1, 300 MHz")
-
-    assert fpga_goodput >= 0.9 * wire, "FPGA must sustain ~line rate"
-    assert cpu_goodput < 0.6 * wire, "kernel stack caps CPU goodput"
-    return report
+    return build_spec("e2").tables()[0]
 
 
 def test_e2_line_rate(benchmark):

@@ -5,81 +5,28 @@ query latency and bytes moved, offloaded vs fetched.  Shape claims:
 offload wins everywhere for aggregations, by orders of magnitude on
 bytes moved; for projections the advantage narrows to ~1x as
 selectivity approaches 1 (the crossover).
+
+The per-selectivity cells and the table assembly live in
+``repro.exec.experiments`` so ``repro run e3 --parallel N`` executes
+the exact same code this bench does.
 """
 
-import pytest
-
 from repro.bench import ResultTable
-from repro.farview import FarviewClient, FarviewServer
-from repro.relational import (
-    AggFunc,
-    AggSpec,
-    Aggregate,
-    Filter,
-    Project,
-    QueryPlan,
-    Table,
-    col,
-)
-from repro.workloads import uniform_table
-
-_N_ROWS = 2_000_000
-_KEY_MAX = 1_000_000
+from repro.exec import build_spec
 
 
-def _client() -> FarviewClient:
-    server = FarviewServer()
-    server.store(
-        "t", Table(uniform_table(_N_ROWS, n_payload_cols=4, key_max=_KEY_MAX))
-    )
-    return FarviewClient(server)
+def _spec():
+    return build_spec("e3")
 
 
 def _run_aggregate_sweep() -> ResultTable:
-    client = _client()
-    report = ResultTable(
-        "E3a: offload vs fetch, SELECT sum(val0) WHERE key < t",
-        ("selectivity", "offload ms", "fetch ms", "speedup",
-         "offload B", "fetch B"),
-    )
-    speedups = []
-    for selectivity in (0.001, 0.01, 0.1, 0.5, 1.0):
-        plan = QueryPlan((
-            Filter(col("key") < int(selectivity * _KEY_MAX)),
-            Aggregate((AggSpec(AggFunc.SUM, "val0"),)),
-        ))
-        off = client.query_offload(plan, "t")
-        fetch = client.query_fetch(plan, "t")
-        assert off.result.equals(fetch.result)
-        s = fetch.latency_s / off.latency_s
-        speedups.append(s)
-        report.add(selectivity, off.latency_s * 1e3, fetch.latency_s * 1e3,
-                   s, off.bytes_over_network, fetch.bytes_over_network)
-    assert all(s > 1.0 for s in speedups), "offloaded agg always wins"
-    return report
+    spec = _spec()
+    return spec.tables(configs=spec.part(part="agg"))[0]
 
 
 def _run_projection_crossover() -> ResultTable:
-    client = _client()
-    report = ResultTable(
-        "E3b: crossover, SELECT key, val0 WHERE key < t",
-        ("selectivity", "offload ms", "fetch ms", "speedup"),
-    )
-    speedups = []
-    for selectivity in (0.01, 0.25, 0.5, 1.0):
-        plan = QueryPlan((
-            Filter(col("key") < int(selectivity * _KEY_MAX)),
-            Project(("key", "val0")),
-        ))
-        off = client.query_offload(plan, "t")
-        fetch = client.query_fetch(plan, "t")
-        s = fetch.latency_s / off.latency_s
-        speedups.append(s)
-        report.add(selectivity, off.latency_s * 1e3,
-                   fetch.latency_s * 1e3, s)
-    assert speedups[0] > speedups[-1], "advantage shrinks with selectivity"
-    assert speedups[-1] == pytest.approx(1.0, abs=0.15), "crossover at 1.0"
-    return report
+    spec = _spec()
+    return spec.tables(configs=spec.part(part="proj"))[0]
 
 
 def test_e3_aggregate_sweep(benchmark):

@@ -6,78 +6,18 @@ and checks the composability claims: results stay exact, node-side
 resources grow roughly linearly with the pipeline, and throughput stays
 at the streaming rate of the slowest stage instead of degrading with
 depth.
+
+The per-pipeline cells and the table assembly live in
+``repro.exec.experiments`` so ``repro run e4 --parallel N`` executes
+the exact same code this bench does.
 """
 
-import pytest
-
 from repro.bench import ResultTable
-from repro.farview import FarviewClient, FarviewServer
-from repro.relational import (
-    AggFunc,
-    AggSpec,
-    Aggregate,
-    Filter,
-    GroupByAggregate,
-    Project,
-    QueryPlan,
-    Table,
-    Transform,
-    col,
-    execute,
-)
-from repro.workloads import grouped_table
-
-_N_ROWS = 1_000_000
-
-
-def _pipelines() -> list[tuple[str, QueryPlan]]:
-    return [
-        ("filter", QueryPlan((Filter(col("value") > 0.5),))),
-        ("filter+project", QueryPlan((
-            Filter(col("value") > 0.5), Project(("group",)),
-        ))),
-        ("decrypt+filter+agg", QueryPlan((
-            Transform("decrypt", ops_per_byte=2.0),
-            Filter(col("value") > 0.5),
-            Aggregate((AggSpec(AggFunc.SUM, "value"),)),
-        ))),
-        ("decrypt+filter+groupby", QueryPlan((
-            Transform("decrypt", ops_per_byte=2.0),
-            Filter(col("value") > 0.5),
-            GroupByAggregate("group", (
-                AggSpec(AggFunc.SUM, "value"),
-                AggSpec(AggFunc.COUNT, "value", alias="n"),
-            )),
-        ))),
-    ]
+from repro.exec import build_spec
 
 
 def _run_pipelines() -> ResultTable:
-    server = FarviewServer()
-    data = Table(grouped_table(_N_ROWS, n_groups=256, seed=4))
-    server.store("t", data)
-    client = FarviewClient(server)
-
-    report = ResultTable(
-        "E4: offload pipelines of growing depth (1M-row table)",
-        ("pipeline", "ops", "latency ms", "node LUTs", "bottleneck"),
-    )
-    latencies = []
-    for name, plan in _pipelines():
-        outcome = client.query_offload(plan, "t")
-        assert outcome.result.equals(execute(plan, data)), name
-        resources = server.pipeline_resources(plan, "t")
-        execution = server.execute(plan, "t")
-        latencies.append(outcome.latency_s)
-        report.add(
-            name, len(plan.operators), outcome.latency_s * 1e3,
-            resources.lut, execution.report.bottleneck,
-        )
-    # Depth must not collapse throughput: the deepest pipeline is within
-    # 2x of the shallowest (streaming, not serial re-scans).
-    assert max(latencies) < 2.0 * min(latencies)
-    report.note("all results verified against the CPU engine")
-    return report
+    return build_spec("e4").tables()[0]
 
 
 def test_e4_pipelines(benchmark):

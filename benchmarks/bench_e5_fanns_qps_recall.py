@@ -11,19 +11,12 @@ The per-nprobe cells and the table assembly live in
 the exact same code this bench does.
 """
 
-import pytest
-
-from conftest import FANNS_LIST_SCALE
 from repro.bench import ResultTable
-from repro.exec.experiments import _E5_NPROBES, e5_assemble, e5_cell
+from repro.exec import build_spec
 
 
 def _run_sweep(index, data) -> ResultTable:
-    rows = [
-        e5_cell(index, data, nprobe, list_scale=FANNS_LIST_SCALE)
-        for nprobe in _E5_NPROBES
-    ]
-    return e5_assemble(rows)[0]
+    return build_spec("e5").tables({"index": index, "data": data})[0]
 
 
 def test_e5_qps_recall(benchmark, ivfpq_index, vector_data):

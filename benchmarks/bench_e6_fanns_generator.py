@@ -5,51 +5,18 @@ drops the ones that do not fit the Alveo U55C, and picks the
 QPS-maximal feasible design.  Shape claims: higher recall targets force
 larger nprobe and cost QPS; at least part of the space is infeasible
 (the resource budget binds); the chosen designs fit the device.
+
+The per-target cells and the table assembly live in
+``repro.exec.experiments`` so ``repro run e6 --parallel N`` executes
+the exact same code this bench does.
 """
 
-import pytest
-
-from conftest import FANNS_LIST_SCALE
 from repro.bench import ResultTable
-from repro.core import ALVEO_U55C
-from repro.fanns import FannsConfig, HardwareGenerator
-
-_TARGETS = (0.5, 0.7, 0.8, 0.9)
+from repro.exec import build_spec
 
 
 def _run_generator(index, data) -> ResultTable:
-    generator = HardwareGenerator(
-        index, data.queries, data.ground_truth, k=10,
-        device=ALVEO_U55C, list_scale=FANNS_LIST_SCALE,
-    )
-    report = ResultTable(
-        "E6: best feasible U55C design per recall target",
-        ("target", "nprobe", "recall", "QPS", "lat us",
-         "dist PEs", "ADC PEs", "HBM ch", "feasible/total"),
-    )
-    qps_series = []
-    for target in _TARGETS:
-        best, points = generator.explore(recall_target=target)
-        assert best is not None, f"target {target} unreachable"
-        assert best.fits
-        demand = best.config.resources(index.pq.m)
-        assert ALVEO_U55C.fits(demand)
-        feasible = sum(1 for p in points if p.fits)
-        qps_series.append(best.qps)
-        report.add(
-            target, best.nprobe, round(best.recall, 3), best.qps,
-            best.latency_s * 1e6, best.config.n_distance_pes,
-            best.config.n_adc_pes, best.config.n_hbm_channels,
-            f"{feasible}/{len(points)}",
-        )
-    assert qps_series == sorted(qps_series, reverse=True), \
-        "recall costs QPS"
-
-    # The resource budget must actually bind somewhere in the space.
-    monster = FannsConfig(n_distance_pes=32, n_lut_pes=32,
-                          n_adc_pes=4096, n_hbm_channels=32)
-    assert not ALVEO_U55C.fits(monster.resources(index.pq.m))
-    return report
+    return build_spec("e6").tables({"index": index, "data": data})[0]
 
 
 def test_e6_generator(benchmark, ivfpq_index, vector_data):

@@ -4,62 +4,20 @@ CPU vs MicroRec on a production-shaped CTR model across batch sizes.
 Shape claims: identical logits; the FPGA holds roughly an order of
 magnitude single-inference latency advantage (the paper's headline);
 throughput grows with batch on both sides.
+
+The per-batch cells and the table assembly live in
+``repro.exec.experiments`` so ``repro run e7 --parallel N`` executes
+the exact same code this bench does.
 """
 
-import numpy as np
-import pytest
-
 from repro.bench import ResultTable
-from repro.microrec import CpuRecommender, MicroRecAccelerator
-from repro.obs import Profiler
-from repro.workloads import lookup_trace
+from repro.exec import build_spec
 
 
 def _run_latency(rec_model, rec_tables) -> ResultTable:
-    prof = Profiler()
-    accel = MicroRecAccelerator(rec_tables, seed=5, tracer=prof.tracer)
-    cpu = CpuRecommender(rec_tables, seed=5)
-    report = ResultTable(
-        "E7: CTR inference latency & throughput, CPU vs MicroRec",
-        ("batch", "CPU lat us", "FPGA lat us", "lat speedup",
-         "CPU QPS", "FPGA QPS"),
-    )
-    gains = []
-    for batch in (1, 16, 64, 256):
-        trace = lookup_trace(rec_model, batch_size=batch, seed=31)
-        c = cpu.infer(trace)
-        f = accel.infer(trace)
-        assert np.allclose(c.logits, f.logits, rtol=1e-4, atol=1e-4)
-        gain = c.latency_s / f.latency_s
-        gains.append(gain)
-        report.add(batch, c.latency_s * 1e6, f.latency_s * 1e6,
-                   gain, c.qps, f.qps)
-    assert min(gains) > 5, "order-of-magnitude-class latency win"
-    report.note(
-        f"model: {rec_model.n_tables} tables, "
-        f"{rec_model.total_embedding_bytes / 1e6:.0f} MB embeddings"
-    )
-
-    # Per-channel busy/stall breakdown of the HBM feature-retrieval
-    # stage, profiler-derived from the banked-memory trace.
-    profile = prof.report()
-    print()
-    print(profile.render())
-    snapshot = prof.tracer.registry.snapshot()
-    accesses = sum(
-        v for k, v in snapshot.items()
-        if k.startswith("memory.bank_accesses")
-    )
-    conflicts = sum(
-        v for k, v in snapshot.items()
-        if k.startswith("memory.bank_conflicts")
-    )
-    assert accesses > 0, "HBM lookups were traced"
-    report.add_metrics(
-        {"hbm.lookups": accesses, "hbm.bank_conflicts": conflicts},
-        title="obs metrics",
-    )
-    return report
+    return build_spec("e7").tables(
+        {"model": rec_model, "tables": rec_tables}
+    )[0]
 
 
 def test_e7_latency(benchmark, rec_model, rec_tables):

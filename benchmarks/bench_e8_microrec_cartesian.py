@@ -4,45 +4,21 @@ Sweeping the Cartesian byte budget in the channel-constrained regime
 (8 HBM channels, no SRAM): lookups per inference fall, the lookup stage
 gets faster, logits stay bit-identical, and the capacity overhead grows
 — the memory-for-accesses trade MicroRec describes.
+
+The per-budget cells and the table assembly live in
+``repro.exec.experiments`` so ``repro run e8 --parallel N`` executes
+the exact same code this bench does.
 """
 
-import numpy as np
-import pytest
-
 from repro.bench import ResultTable
-from repro.microrec import MicroRecAccelerator, MicroRecConfig, plan_cartesian
-
-_CONFIG = MicroRecConfig(sram_budget_bytes=0, n_hbm_channels=8)
+from repro.exec import build_spec
+from repro.exec.experiments import e8_context
 
 
 def _run_cartesian(rec_model, rec_tables, rec_trace) -> ResultTable:
-    report = ResultTable(
-        "E8: Cartesian budget sweep (8 HBM channels, no SRAM)",
-        ("byte budget", "lookups/inf", "capacity overhead",
-         "lookup stage us", "batch QPS"),
-    )
-    baseline = MicroRecAccelerator(rec_tables, config=_CONFIG, seed=5)
-    base_out = baseline.infer(rec_trace)
-    lookups, stage_times = [], []
-    for mult in (1.0, 1.5, 2.0, 4.0):
-        plan = plan_cartesian(
-            rec_model, byte_budget=int(mult * rec_model.total_embedding_bytes)
-        )
-        accel = MicroRecAccelerator(
-            rec_tables, plan=plan, config=_CONFIG, seed=5
-        )
-        out = accel.infer(rec_trace)
-        assert np.allclose(out.logits, base_out.logits, rtol=1e-4, atol=1e-4)
-        lookups.append(accel.lookups_per_inference)
-        stage_times.append(out.lookup_s)
-        report.add(
-            f"{mult:.1f}x", accel.lookups_per_inference,
-            round(plan.capacity_overhead, 2), out.lookup_s * 1e6, out.qps,
-        )
-    assert lookups[-1] < lookups[0], "budget buys fewer lookups"
-    assert stage_times[-1] < stage_times[0], "fewer lookups -> faster stage"
-    assert lookups == sorted(lookups, reverse=True)
-    return report
+    return build_spec("e8").tables(
+        e8_context(rec_model, rec_tables, rec_trace)
+    )[0]
 
 
 def test_e8_cartesian(benchmark, rec_model, rec_tables, rec_trace):

@@ -5,64 +5,31 @@ channel count and saturates once every table has its own channel —
 memory-level parallelism is the win, and it runs out.
 (b) SRAM placement ablation: moving small tables on-chip removes their
 HBM row cycles entirely.
+
+The per-config cells and the table assembly live in
+``repro.exec.experiments`` so ``repro run e9 --parallel N`` executes
+the exact same code this bench does.
 """
 
-import pytest
-
 from repro.bench import ResultTable
-from repro.microrec import EmbeddingTables, MicroRecAccelerator, MicroRecConfig
-from repro.workloads import lookup_trace, production_like_model
-
-_BATCH = 256
+from repro.exec import build_spec
+from repro.exec.experiments import e9_context
 
 
 def _run_channel_sweep(rec_model, rec_tables) -> ResultTable:
-    # A model small enough to fit a single HBM pseudo-channel, so the
-    # sweep can start at 1 channel.
-    spec = production_like_model(n_tables=32, max_rows=100_000, seed=9)
-    tables = EmbeddingTables(spec, seed=9)
-    trace_batch = _BATCH
-    report = ResultTable(
-        "E9a: lookup stage vs HBM channel count (no SRAM)",
-        ("channels", "lookup stage us", "speedup vs 1 channel"),
-    )
-    times = []
-    for channels in (1, 2, 4, 8, 16, 32):
-        config = MicroRecConfig(sram_budget_bytes=0, n_hbm_channels=channels)
-        accel = MicroRecAccelerator(tables, config=config, seed=5)
-        t = accel.lookup_time_s(trace_batch)
-        times.append(t)
-        report.add(channels, t * 1e6, times[0] / t)
-    assert times == sorted(times, reverse=True), "more channels never hurt"
-    assert times[0] / times[-1] > 4, "banking parallelism pays off"
-    # Saturation: the last doubling helps less than the first.
-    first_gain = times[0] / times[1]
-    last_gain = times[-2] / times[-1]
-    assert last_gain < first_gain
-    return report
+    spec = build_spec("e9")
+    return spec.tables(
+        e9_context(rec_model, rec_tables),
+        configs=spec.part(part="channels"),
+    )[0]
 
 
 def _run_sram_ablation(rec_model, rec_tables) -> ResultTable:
-    trace = lookup_trace(rec_model, batch_size=_BATCH, seed=33)
-    report = ResultTable(
-        "E9b: SRAM placement ablation (32 HBM channels)",
-        ("SRAM budget MB", "tables in SRAM", "HBM lookups/inf",
-         "lookup stage us"),
-    )
-    times = []
-    for budget_mb in (0, 1, 4, 16, 32):
-        config = MicroRecConfig(
-            sram_budget_bytes=budget_mb << 20, n_hbm_channels=32
-        )
-        accel = MicroRecAccelerator(rec_tables, config=config, seed=5)
-        out = accel.infer(trace)
-        times.append(out.lookup_s)
-        report.add(
-            budget_mb, len(accel.placement.sram_tables),
-            accel.hbm_lookups_per_inference, out.lookup_s * 1e6,
-        )
-    assert times[-1] <= times[0], "SRAM placement never hurts"
-    return report
+    spec = build_spec("e9")
+    return spec.tables(
+        e9_context(rec_model, rec_tables),
+        configs=spec.part(part="sram"),
+    )[0]
 
 
 def test_e9_channel_sweep(benchmark, rec_model, rec_tables):

@@ -1,25 +1,26 @@
 """Shared fixtures for the experiment benchmarks.
 
-Expensive artifacts (datasets, trained indexes, embedding tables) are
-session-scoped so the whole ``pytest benchmarks/ --benchmark-only`` run
-builds each once.
+The fixtures delegate to the spec context builders in
+``repro.exec.experiments.contexts`` — the single source of truth for
+dataset/index/model construction parameters — so the pytest bench path
+and ``repro run eN`` always operate on identical artifacts.  The
+builders are ``lru_cache``d, so the whole
+``pytest benchmarks/ --benchmark-only`` run builds each once (the
+session scope here just avoids re-entering the cached call).
 """
 
 import os
 
 import pytest
 
-from repro.fanns import build_ivfpq
-from repro.microrec import EmbeddingTables
-from repro.workloads import (
-    clustered_dataset,
-    lookup_trace,
-    production_like_model,
+from repro.exec.experiments import (
+    FANNS_LIST_SCALE,  # noqa: F401  (re-export for bench modules)
+    fanns_dataset,
+    fanns_index,
+    microrec_model,
+    microrec_tables,
+    microrec_trace,
 )
-
-# Deployment-scale multiplier for FANNS timing (see DESIGN.md §1: the
-# functional index is small; the papers' datasets are 1e8-1e9 vectors).
-FANNS_LIST_SCALE = 2_000
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -52,31 +53,28 @@ def _obs_trace():
 @pytest.fixture(scope="session")
 def vector_data():
     """Clustered dataset + ground truth for the FANNS experiments."""
-    return clustered_dataset(
-        n=20_000, dim=32, n_queries=100, gt_k=10, n_clusters=64,
-        cluster_std=0.25, seed=13,
-    )
+    return fanns_dataset()
 
 
 @pytest.fixture(scope="session")
 def ivfpq_index(vector_data):
     """A trained IVF-PQ index over the session dataset."""
-    return build_ivfpq(vector_data.base, nlist=256, m=16, ksub=256, seed=13)
+    return fanns_index()
 
 
 @pytest.fixture(scope="session")
 def rec_model():
     """A production-shaped recommendation model spec."""
-    return production_like_model(n_tables=47, max_rows=2_000_000, seed=21)
+    return microrec_model()
 
 
 @pytest.fixture(scope="session")
 def rec_tables(rec_model):
     """Materialised embedding tables for the MicroRec experiments."""
-    return EmbeddingTables(rec_model, seed=21)
+    return microrec_tables()
 
 
 @pytest.fixture(scope="session")
 def rec_trace(rec_model):
     """A 256-inference lookup trace."""
-    return lookup_trace(rec_model, batch_size=256, seed=22)
+    return microrec_trace()

@@ -3,67 +3,33 @@
 Subcommands:
 
 * ``info`` — package version and system inventory;
-* ``experiments`` — the experiment index (id, source, bench file);
-* ``run <id> [...]`` — regenerate experiments by id (delegates to
-  pytest over ``benchmarks/``, which must be reachable from the
-  current directory — i.e. run from the repository root).
+* ``experiments`` — the experiment index (id, title, bench file);
+* ``list [--json]`` — the registry dump: per experiment the grid
+  size, seeds, and how many cells are already in ``results/cache/``;
+* ``run <id>... | all [--parallel N]`` — regenerate experiments
+  through the sweep runner (:mod:`repro.exec`): every cell is cached,
+  re-runs are free, and ``--parallel`` fans the grid over worker
+  processes.
 
-``run --trace OUT.json`` turns on the observability layer for the
-delegated run: every simulator and banked memory the experiments build
-records through a shared tracer (installed by ``benchmarks/conftest.py``
-via the ``REPRO_TRACE`` environment variable), and the collected trace
-is exported as Chrome ``trace_event`` JSON — open it at
+``run --trace OUT.json`` records the run through the observability
+layer instead: it delegates to pytest over ``benchmarks/`` (which must
+be reachable from the current directory — i.e. run from the repository
+root), where ``benchmarks/conftest.py`` installs a shared tracer via
+the ``REPRO_TRACE`` environment variable and exports the collected
+trace as Chrome ``trace_event`` JSON — open it at
 https://ui.perfetto.dev or in ``chrome://tracing``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import subprocess
 import sys
 from pathlib import Path
 
 from . import __version__
-
-_EXPERIMENTS: dict[str, tuple[str, str]] = {
-    "e1": ("HLS pipelining study (§2 Programming)",
-           "bench_e1_hls_pipeline.py"),
-    "e2": ("line-rate stream processing", "bench_e2_line_rate.py"),
-    "e3": ("Farview offload vs fetch (Fig 2)", "bench_e3_farview_offload.py"),
-    "e4": ("Farview multi-operator pipelines",
-           "bench_e4_farview_pipelines.py"),
-    "e5": ("FANNS QPS vs recall (Fig 3)", "bench_e5_fanns_qps_recall.py"),
-    "e6": ("FANNS hardware generator", "bench_e6_fanns_generator.py"),
-    "e7": ("MicroRec latency (Figs 4-5)", "bench_e7_microrec_latency.py"),
-    "e8": ("MicroRec Cartesian ablation", "bench_e8_microrec_cartesian.py"),
-    "e9": ("MicroRec HBM banking / SRAM placement",
-           "bench_e9_microrec_hbm.py"),
-    "e10": ("ACCL collectives vs host-staged (Fig 1)",
-            "bench_e10_accl_collectives.py"),
-    "e11": ("ACCL scaling and ring/tree crossover",
-            "bench_e11_accl_scaling.py"),
-    "e12": ("resource utilization across devices", "bench_e12_resources.py"),
-    "e13": ("sketch operators at line rate", "bench_e13_sketches.py"),
-    "e14": ("any-precision k-means (BiS-KM)",
-            "bench_e14_anyprec_kmeans.py"),
-    "e15": ("compression/encryption offload (HANA)",
-            "bench_e15_compression.py"),
-    "e16": ("scale-out: distributed FANNS + FleetRec",
-            "bench_e16_scaleout.py"),
-    "e17": ("smart-NIC KV store (KV-Direct)", "bench_e17_kvdirect.py"),
-    "e18": ("LSM compaction offload (X-Engine)",
-            "bench_e18_lsm_offload.py"),
-    "e19": ("multi-tenant smart memory (event-driven)",
-            "bench_e19_multitenant.py"),
-    "e20": ("hash joins: the CIDR'20 question", "bench_e20_hash_join.py"),
-    "e21": ("business-rule matching (Amadeus)",
-            "bench_e21_business_rules.py"),
-    "e22": ("fault tolerance: tail latency under injected faults",
-            "bench_e22_fault_tolerance.py"),
-    "e23": ("simulator performance: engine, fast-forward, sweeps",
-            "bench_e23_sim_perf.py"),
-}
 
 _INVENTORY = [
     ("repro.core", "HLS execution model, event engine, devices"),
@@ -79,7 +45,7 @@ _INVENTORY = [
     ("repro.lsm", "LSM store + compaction offload (X-Engine)"),
     ("repro.kvstore", "smart-NIC key-value store (KV-Direct)"),
     ("repro.faults", "fault injection, timeouts, retry/recovery"),
-    ("repro.exec", "parallel sweep runner, result cache"),
+    ("repro.exec", "experiment registry, sweep runner, result cache"),
     ("repro.workloads", "synthetic workload generators"),
 ]
 
@@ -94,9 +60,79 @@ def _cmd_info() -> int:
 
 
 def _cmd_experiments() -> int:
-    for exp_id, (title, bench) in _EXPERIMENTS.items():
-        print(f"  {exp_id:<4} {title:<48} benchmarks/{bench}")
+    from .exec import build_spec, experiment_ids
+
+    for exp_id in experiment_ids():
+        spec = build_spec(exp_id)
+        print(f"  {exp_id:<4} {spec.title:<48} benchmarks/{spec.bench}")
     return 0
+
+
+def _registry_rows() -> list[dict]:
+    """One dict per registered experiment, with cache occupancy."""
+    from .exec import (
+        ResultCache,
+        build_spec,
+        cell_key,
+        code_version,
+        experiment_ids,
+    )
+
+    cache = ResultCache()
+    version = code_version()
+    rows = []
+    for exp_id in experiment_ids():
+        spec = build_spec(exp_id)
+        cached = sum(
+            cache.has(cell_key(exp_id, config, seed, version,
+                               context=spec.context_key))
+            for seed in spec.seeds
+            for config in spec.grid
+        )
+        rows.append({
+            "experiment": exp_id,
+            "title": spec.title,
+            "bench": f"benchmarks/{spec.bench}",
+            "grid": len(spec.grid),
+            "seeds": list(spec.seeds),
+            "cells": spec.cells,
+            "cached": cached,
+            "deterministic": spec.deterministic,
+        })
+    return rows
+
+
+def _cmd_list(as_json: bool) -> int:
+    rows = _registry_rows()
+    if as_json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    print(f"  {'id':<4} {'cells':>5} {'cached':>6}  {'seeds':<12} title")
+    for row in rows:
+        seeds = ",".join(str(s) for s in row["seeds"])
+        print(f"  {row['experiment']:<4} {row['cells']:>5} "
+              f"{row['cached']:>6}  {seeds:<12} {row['title']}")
+    return 0
+
+
+def _resolve_ids(ids: list[str]) -> list[str] | None:
+    """Lower-cased experiment ids with ``all`` expanded, or ``None``."""
+    from .exec import experiment_ids
+
+    known = experiment_ids()
+    keys: list[str] = []
+    for exp_id in ids:
+        key = exp_id.lower()
+        if key == "all":
+            keys.extend(k for k in known if k not in keys)
+            continue
+        if key not in known:
+            print(f"error: unknown experiment {exp_id!r} "
+                  f"(see 'python -m repro list')", file=sys.stderr)
+            return None
+        if key not in keys:
+            keys.append(key)
+    return keys
 
 
 def _cmd_run_sweep(
@@ -105,7 +141,7 @@ def _cmd_run_sweep(
     no_cache: bool,
     faults: float | None,
 ) -> int:
-    """Run sweepable experiments through :mod:`repro.exec` directly."""
+    """Run experiments through the :mod:`repro.exec` sweep runner."""
     from .exec import ResultCache, SweepRunner, build_spec
 
     if faults is not None:
@@ -123,6 +159,35 @@ def _cmd_run_sweep(
     return 0
 
 
+def _cmd_run_pytest(ids: list[str], trace: str, faults: float | None) -> int:
+    """Delegate a traced run to pytest over ``benchmarks/``."""
+    from .exec import build_spec
+
+    bench_dir = Path("benchmarks")
+    if not bench_dir.is_dir():
+        print("error: benchmarks/ not found — run from the repository root",
+              file=sys.stderr)
+        return 2
+    targets = [str(bench_dir / build_spec(exp_id).bench) for exp_id in ids]
+    command = [
+        sys.executable, "-m", "pytest", *targets,
+        "--benchmark-only", "-q", "-s",
+    ]
+    env = os.environ.copy()
+    # benchmarks/conftest.py installs the default tracer when it sees
+    # this variable and exports the Chrome trace on teardown.
+    env["REPRO_TRACE"] = str(Path(trace).resolve())
+    if faults is not None:
+        # Fault-aware benches (e22) sweep {0, faults} instead of their
+        # default rate ladder.
+        env["REPRO_FAULT_RATE"] = repr(faults)
+    status = subprocess.call(command, env=env)
+    if status == 0:
+        print(f"trace written to {trace} "
+              "(open in chrome://tracing or https://ui.perfetto.dev)")
+    return status
+
+
 def _cmd_run(
     ids: list[str],
     trace: str | None = None,
@@ -138,52 +203,14 @@ def _cmd_run(
         print(f"error: --parallel must be >= 1, got {parallel}",
               file=sys.stderr)
         return 2
-    from .exec import SWEEPABLE
-
-    keys = [exp_id.lower() for exp_id in ids]
-    if (parallel > 1 or no_cache) and all(k in SWEEPABLE for k in keys):
-        # The sweep path can't record traces (workers are separate
-        # processes); fall through to pytest when --trace is given.
-        if trace is None:
-            return _cmd_run_sweep(keys, parallel, no_cache, faults)
-        print("note: --trace forces the serial pytest path",
-              file=sys.stderr)
-    elif parallel > 1:
-        not_sweepable = [k for k in keys if k not in SWEEPABLE]
-        print(f"note: {', '.join(not_sweepable)} not sweepable "
-              f"(sweepable: {', '.join(SWEEPABLE)}); running serially "
-              "via pytest", file=sys.stderr)
-    bench_dir = Path("benchmarks")
-    if not bench_dir.is_dir():
-        print("error: benchmarks/ not found — run from the repository root",
-              file=sys.stderr)
+    keys = _resolve_ids(ids)
+    if keys is None:
         return 2
-    targets = []
-    for exp_id in ids:
-        key = exp_id.lower()
-        if key not in _EXPERIMENTS:
-            print(f"error: unknown experiment {exp_id!r} "
-                  f"(see 'python -m repro experiments')", file=sys.stderr)
-            return 2
-        targets.append(str(bench_dir / _EXPERIMENTS[key][1]))
-    command = [
-        sys.executable, "-m", "pytest", *targets,
-        "--benchmark-only", "-q", "-s",
-    ]
-    env = os.environ.copy()
-    if trace:
-        # benchmarks/conftest.py installs the default tracer when it
-        # sees this variable and exports the Chrome trace on teardown.
-        env["REPRO_TRACE"] = str(Path(trace).resolve())
-    if faults is not None:
-        # Fault-aware benches (e22) sweep {0, faults} instead of their
-        # default rate ladder.
-        env["REPRO_FAULT_RATE"] = repr(faults)
-    status = subprocess.call(command, env=env)
-    if trace and status == 0:
-        print(f"trace written to {trace} "
-              "(open in chrome://tracing or https://ui.perfetto.dev)")
-    return status
+    if trace is not None:
+        # The sweep path can't record traces (workers are separate
+        # processes); traced runs go through the serial pytest path.
+        return _cmd_run_pytest(keys, trace, faults)
+    return _cmd_run_sweep(keys, parallel, no_cache, faults)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -194,12 +221,20 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("info", help="version and system inventory")
     sub.add_parser("experiments", help="list the experiment index")
+    lst = sub.add_parser(
+        "list", help="registry dump: grid sizes, seeds, cache occupancy"
+    )
+    lst.add_argument("--json", action="store_true", dest="as_json",
+                     help="emit the registry as JSON")
     run = sub.add_parser("run", help="regenerate experiments by id")
-    run.add_argument("ids", nargs="+", help="experiment ids, e.g. e3 e7")
+    run.add_argument(
+        "ids", nargs="+",
+        help="experiment ids, e.g. e3 e7 — or 'all' for every one",
+    )
     run.add_argument(
         "--trace", metavar="OUT.json", default=None,
         help="record the run through repro.obs and export a Chrome "
-             "trace_event JSON file",
+             "trace_event JSON file (serial pytest path)",
     )
     run.add_argument(
         "--faults", metavar="RATE", type=float, default=None,
@@ -208,8 +243,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     run.add_argument(
         "--parallel", metavar="N", type=int, default=1,
-        help="fan the experiment's config grid over N worker processes "
-             "(sweepable experiments: e5, e11, e22)",
+        help="fan the experiment's config grid over N worker processes",
     )
     run.add_argument(
         "--no-cache", action="store_true",
@@ -221,6 +255,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_info()
     if args.command == "experiments":
         return _cmd_experiments()
+    if args.command == "list":
+        return _cmd_list(args.as_json)
     if args.command == "run":
         return _cmd_run(args.ids, trace=args.trace, faults=args.faults,
                         parallel=args.parallel, no_cache=args.no_cache)
@@ -229,4 +265,11 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        status = main()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: not an error.  Point
+        # stdout at devnull so the interpreter's exit flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        status = 0
+    raise SystemExit(status)

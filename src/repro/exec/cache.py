@@ -60,19 +60,31 @@ def code_version() -> str:
     return _CODE_VERSION
 
 
-def cell_key(experiment: str, config: dict, seed: int, version: str) -> str:
-    """Deterministic cache key for one sweep cell."""
-    identity = json.dumps(
-        {
-            "experiment": experiment,
-            "config": _jsonable(config),
-            "seed": seed,
-            "code_version": version,
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-    )
-    return hashlib.sha256(identity.encode()).hexdigest()
+def cell_key(
+    experiment: str,
+    config: dict,
+    seed: int,
+    version: str,
+    context: dict | None = None,
+) -> str:
+    """Deterministic cache key for one sweep cell.
+
+    ``context`` is the spec's extra cache identity (e.g. the smoke/full
+    dataset scale); it is only folded in when non-empty, so keys minted
+    before the field existed stay valid.
+    """
+    identity: dict[str, Any] = {
+        "experiment": experiment,
+        "config": _jsonable(config),
+        "seed": seed,
+        "code_version": version,
+    }
+    if context:
+        identity["context"] = _jsonable(context)
+    return hashlib.sha256(
+        json.dumps(identity, sort_keys=True,
+                   separators=(",", ":")).encode()
+    ).hexdigest()
 
 
 class ResultCache:
@@ -80,6 +92,10 @@ class ResultCache:
 
     def __init__(self, root: str | os.PathLike = "results/cache") -> None:
         self.root = Path(root)
+
+    def has(self, key: str) -> bool:
+        """True when a readable entry exists for ``key``."""
+        return (self.root / f"{key}.json").is_file()
 
     def get(self, key: str) -> dict | None:
         """The cached payload for ``key``, or ``None``."""

@@ -1,0 +1,181 @@
+"""The experiment registry: one declarative spec per experiment.
+
+Every experiment e1–e23 is factored into the three phases the sweep
+runner schedules independently:
+
+* ``prepare()`` — build the (deterministic, seeded) shared context:
+  datasets, indexes, clusters, baselines.  Runs once per worker
+  process; never cached, never serialised.
+* ``cell(ctx, config, seed)`` — one grid point, returning a plain
+  JSON-able dict.  Cells are independent, so they parallelise and
+  cache freely.  Single-cell experiments have a one-entry grid.
+* ``assemble(rows)`` — fold the cell dicts (in grid order) back into
+  the experiment's :class:`~repro.bench.ResultTable` list, including
+  the bench's shape-claim assertions.
+
+The benchmark files under ``benchmarks/`` are thin shims that fetch
+their spec from this registry and delegate to the same cells and
+assembly, so ``repro run eN --parallel K`` produces byte-identical
+tables to the pytest path — the decomposition *is* the experiment,
+not a parallel re-implementation of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from ...bench import ResultTable
+from ..cache import _jsonable
+
+__all__ = [
+    "ExperimentSpec",
+    "build_spec",
+    "experiment_ids",
+    "register",
+]
+
+# Experiment id -> spec factory.  Factories are re-invoked per
+# build_spec() call so environment knobs (REPRO_FAULT_RATE,
+# REPRO_SMOKE, REPRO_BENCH_SMOKE) are honoured at invocation time,
+# like the pytest path.
+_FACTORIES: dict[str, Callable[[], "ExperimentSpec"]] = {}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment: its grid, phase callables, and registry metadata.
+
+    Attributes
+    ----------
+    experiment:
+        Registry id (``"e5"``).
+    title:
+        One-line description, shown by ``repro list``.
+    bench:
+        The benchmark shim file under ``benchmarks/``.
+    grid:
+        Config dicts, one per cell.  Single-cell experiments use a
+        one-entry grid (often ``({},)``).
+    seeds:
+        Seeds swept seed-major over the grid.
+    prepare / cell / assemble:
+        The three phases (see module docstring).  ``cell`` is wrapped
+        at construction so its return value is normalised to plain
+        JSON types — the in-process row and the cache-roundtripped row
+        are therefore always identical.
+    entries:
+        ``(bench entry-point name, ctx-key args)`` pairs: the shim
+        functions that regenerate this experiment's tables, in
+        assemble-output order.  The golden-equivalence and smoke
+        suites are parameterised off this.
+    context_key:
+        Extra identity folded into every cell's cache key (e.g. the
+        smoke/full dataset scale), so context-dependent results can
+        never be served across contexts.
+    deterministic:
+        False for experiments whose tables contain wall-clock
+        measurements (e23); equivalence checks then compare structure,
+        not bytes.
+    """
+
+    experiment: str
+    title: str
+    bench: str
+    grid: tuple[dict, ...]
+    seeds: tuple[int, ...]
+    prepare: Callable[[], Any]
+    cell: Callable[[Any, dict, int], dict]
+    assemble: Callable[[list[dict]], list[ResultTable]]
+    entries: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    context_key: dict = field(default_factory=dict)
+    deterministic: bool = True
+
+    def __post_init__(self) -> None:
+        raw_cell = self.cell
+
+        def normalised(ctx: Any, config: dict, seed: int) -> dict:
+            return _jsonable(raw_cell(ctx, config, seed))
+
+        object.__setattr__(self, "normalised", normalised)
+        object.__setattr__(self, "cell", normalised)
+
+    @property
+    def cells(self) -> int:
+        """Total cell count (``seeds x grid``)."""
+        return len(self.grid) * len(self.seeds)
+
+    @property
+    def sweep(self) -> bool:
+        """True when the experiment has more than one cell."""
+        return self.cells > 1
+
+    def rows(
+        self,
+        ctx: Any = None,
+        configs: Iterable[dict] | None = None,
+    ) -> list[dict]:
+        """Run cells serially, seed-major / grid-minor (runner order).
+
+        ``ctx=None`` calls :attr:`prepare`; shims with session fixtures
+        pass a pre-built context instead.  ``configs`` restricts the
+        run to a grid subset (a bench entry point's part).
+        """
+        if ctx is None:
+            ctx = self.prepare()
+        grid = self.grid if configs is None else tuple(configs)
+        return [
+            self.cell(ctx, config, seed)
+            for seed in self.seeds
+            for config in grid
+        ]
+
+    def tables(
+        self,
+        ctx: Any = None,
+        configs: Iterable[dict] | None = None,
+    ) -> list[ResultTable]:
+        """Assemble the result tables from a serial in-process run."""
+        return self.assemble(self.rows(ctx=ctx, configs=configs))
+
+    def part(self, **match: Any) -> tuple[dict, ...]:
+        """The grid subset whose configs contain all of ``match``."""
+        return tuple(
+            config for config in self.grid
+            if all(config.get(k) == v for k, v in match.items())
+        )
+
+
+def register(
+    experiment: str,
+) -> Callable[[Callable[[], ExperimentSpec]], Callable[[], ExperimentSpec]]:
+    """Decorator: record a spec factory under an experiment id."""
+
+    def deco(factory: Callable[[], ExperimentSpec]):
+        if experiment in _FACTORIES:
+            raise ValueError(f"experiment {experiment!r} registered twice")
+        _FACTORIES[experiment] = factory
+        return factory
+
+    return deco
+
+
+def experiment_ids() -> tuple[str, ...]:
+    """All registered experiment ids, in numeric order."""
+    return tuple(sorted(_FACTORIES, key=lambda e: int(e[1:])))
+
+
+def build_spec(experiment: str) -> ExperimentSpec:
+    """The :class:`ExperimentSpec` for an experiment id (fresh build)."""
+    try:
+        factory = _FACTORIES[experiment.lower()]
+    except KeyError:
+        known = ", ".join(experiment_ids())
+        raise KeyError(
+            f"unknown experiment {experiment!r} (registered: {known})"
+        ) from None
+    spec = factory()
+    assert spec.experiment == experiment.lower(), (
+        f"factory for {experiment!r} built spec {spec.experiment!r}"
+    )
+    return spec

@@ -1,0 +1,439 @@
+"""Reliability/performance experiments: e22 (fault tolerance), e23
+(simulator performance — benchmarks the reproduction machinery)."""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+from ...bench import ResultTable
+from .base import ExperimentSpec, register
+
+_PS_PER_S = 1_000_000_000_000
+
+# -- E22: fault tolerance ---------------------------------------------------
+
+_E22_SEED = 22
+_E22_N_CLIENTS = 4
+_E22_REQUESTS_PER_CLIENT = 30
+_E22_RESULT_BYTES = 64 * 1024
+_E22_SCAN_PS = 8_000_000
+_E22_N_NODES = 8
+_E22_N_ROUNDS = 10
+_E22_BUFFER_ELEMS = 64 * 1024
+
+
+def e22_rates() -> tuple[float, ...]:
+    """The fault-rate ladder (``REPRO_FAULT_RATE`` overrides)."""
+    override = os.environ.get("REPRO_FAULT_RATE")
+    if override:
+        return (0.0, float(override))
+    return (0.0, 0.001, 0.01)
+
+
+def _percentiles_us(latencies_ps: list[int]) -> tuple[float, float]:
+    arr = np.array(latencies_ps, dtype=np.float64) / 1e6
+    return float(np.percentile(arr, 50)), float(np.percentile(arr, 99))
+
+
+def _simulate_farview(rate: float) -> dict:
+    """Event-driven: clients retrying scans over one faulty egress."""
+    from ...core import Simulator
+    from ...faults import FaultPlan, FaultyLink, RetryPolicy, call_with_retries
+    from ...network.link import ethernet_100g
+
+    policy = RetryPolicy(
+        max_attempts=4,
+        timeout_ps=60_000_000,
+        backoff_base_ps=2_000_000,
+        jitter=0.2,
+    )
+    sim = Simulator()
+    plan = FaultPlan(
+        seed=_E22_SEED,
+        drop_rate=rate,
+        spike_rate=rate,
+        spike_ps=(2_000_000, 20_000_000),
+    )
+    link = FaultyLink(
+        sim, ethernet_100g(), plan, name="farview.egress", mode="silent"
+    )
+    outcomes = []
+
+    def attempt():
+        yield sim.timeout(_E22_SCAN_PS)
+        nbytes = yield link.transfer(_E22_RESULT_BYTES)
+        return nbytes
+
+    def client(cid: int):
+        rng = plan.stream(f"client{cid}.backoff")
+        for _ in range(_E22_REQUESTS_PER_CLIENT):
+            out = yield from call_with_retries(
+                sim, attempt, policy, rng, site=f"client{cid}"
+            )
+            outcomes.append(out)
+
+    for cid in range(_E22_N_CLIENTS):
+        sim.spawn(client(cid), name=f"client{cid}")
+    sim.run()
+
+    ok = [o for o in outcomes if o.ok]
+    p50, p99 = _percentiles_us([o.latency_ps for o in outcomes])
+    wall_s = sim.now / _PS_PER_S
+    goodput = len(ok) * _E22_RESULT_BYTES / wall_s / 1e6 if wall_s else 0.0
+    return {
+        "p50_us": p50,
+        "p99_us": p99,
+        "goodput": f"{goodput:8.1f} MB/s",
+        "retries": sum(o.retries for o in outcomes),
+        "gave_up": sum(1 for o in outcomes if not o.ok),
+        "n": len(outcomes),
+    }
+
+
+def _simulate_allreduce(rate: float) -> dict:
+    """Analytic: repeated ring allreduces, with a crash at the 1% rate."""
+    from ...accl import FpgaCluster, allreduce_with_faults
+    from ...faults import FaultPlan, NodeOutage
+
+    outages = ()
+    if rate >= 0.01:
+        # Node 3 dies partway through the run and stays down.
+        outages = (NodeOutage(node=3, down_at_ps=400_000_000),)
+    plan = FaultPlan(seed=_E22_SEED, drop_rate=rate, outages=outages)
+    cluster = FpgaCluster(_E22_N_NODES)
+    buffers = [
+        np.full(_E22_BUFFER_ELEMS, float(i + 1), dtype=np.float64)
+        for i in range(_E22_N_NODES)
+    ]
+    round_ps: list[int] = []
+    retries = 0
+    reroutes = 0
+    reduced_bytes = 0
+    t_ps = 0
+    for _ in range(_E22_N_ROUNDS):
+        result = allreduce_with_faults(cluster, buffers, plan, start_ps=t_ps)
+        expected = sum(
+            float(i + 1) for i in range(_E22_N_NODES) if i in result.survivors
+        )
+        assert np.allclose(result.outcome.buffers[0], expected), (
+            "allreduce result must be the survivors' sum"
+        )
+        step_ps = int(result.time_s * _PS_PER_S)
+        round_ps.append(step_ps)
+        t_ps += step_ps
+        retries += result.retries
+        reroutes += int(result.rerouted)
+        reduced_bytes += len(result.survivors) * buffers[0].nbytes
+    p50, p99 = _percentiles_us(round_ps)
+    wall_s = t_ps / _PS_PER_S
+    goodput = reduced_bytes / wall_s / 1e9 if wall_s else 0.0
+    return {
+        "p50_us": p50,
+        "p99_us": p99,
+        "goodput": f"{goodput:8.2f} GB/s",
+        "retries": retries,
+        "gave_up": 0,
+        "reroutes": reroutes,
+    }
+
+
+def e22_cell(config: dict, seed: int = _E22_SEED) -> dict:
+    """One (workload, fault-rate) point."""
+    rate = config["rate"]
+    if config["workload"] == "farview":
+        row = _simulate_farview(rate)
+    else:
+        row = _simulate_allreduce(rate)
+    row["workload"] = config["workload"]
+    row["rate"] = rate
+    return row
+
+
+def e22_assemble(rows: list[dict]) -> list[ResultTable]:
+    """Rebuild the E22 table (and shape claims) from cell dicts."""
+    report = ResultTable(
+        "E22: tail latency and goodput under injected faults",
+        ("workload", "fault %", "p50 us", "p99 us", "goodput",
+         "retries", "gave up"),
+    )
+    farview = {r["rate"]: r for r in rows if r["workload"] == "farview"}
+    accl = {r["rate"]: r for r in rows if r["workload"] == "accl"}
+    rates = sorted(farview)
+    for rate in rates:
+        row = farview[rate]
+        report.add(
+            "farview scans", f"{100 * rate:g}", round(row["p50_us"], 2),
+            round(row["p99_us"], 2), row["goodput"], row["retries"],
+            row["gave_up"],
+        )
+    for rate in rates:
+        row = accl[rate]
+        report.add(
+            "accl allreduce", f"{100 * rate:g}", round(row["p50_us"], 2),
+            round(row["p99_us"], 2), row["goodput"], row["retries"],
+            row["gave_up"],
+        )
+
+    clean_fv, clean_ar = farview[rates[0]], accl[rates[0]]
+    assert clean_fv["retries"] == 0 and clean_fv["gave_up"] == 0, (
+        "the 0% row must be fault-free"
+    )
+    assert clean_ar["retries"] == 0 and clean_ar["reroutes"] == 0
+    worst = max(rates)
+    if worst >= 0.01:
+        assert farview[worst]["retries"] > 0, (
+            "the worst fault rate must actually trigger retries"
+        )
+        assert accl[worst]["reroutes"] > 0, (
+            "the scheduled crash must force a ring->tree reroute"
+        )
+    for row in list(farview.values()) + list(accl.values()):
+        assert row["p99_us"] >= row["p50_us"]
+    report.note(
+        "farview: 4 clients x 30 scans, silent drops, 60 us attempt "
+        "timeout, <=4 attempts; accl: 10 ring allreduces on 8 nodes, "
+        "crash at 0.4 ms for the 1% row (ring degrades to survivor tree)"
+    )
+    return [report]
+
+
+@register("e22")
+def _e22_spec() -> ExperimentSpec:
+    rates = e22_rates()
+    grid = tuple(
+        [{"workload": "farview", "rate": r} for r in rates]
+        + [{"workload": "accl", "rate": r} for r in rates]
+    )
+
+    def cell(ctx: Any, config: dict, seed: int) -> dict:
+        return e22_cell(config, seed)
+
+    return ExperimentSpec(
+        experiment="e22",
+        title="fault tolerance: tail latency under injected faults",
+        bench="bench_e22_fault_tolerance.py",
+        grid=grid,
+        seeds=(_E22_SEED,),
+        prepare=lambda: None,
+        cell=cell,
+        assemble=e22_assemble,
+        # The rate ladder is part of the grid, so REPRO_FAULT_RATE runs
+        # key separately from the default ladder.
+        entries=(("_run_fault_tolerance", ()),),
+    )
+
+
+# -- E23: simulator performance ---------------------------------------------
+
+_E23_PIPE_KERNELS = 8
+_E23_SWEEP_WORKERS = 4
+
+# Seed-engine throughput on this workload shape, measured before the
+# hot-path/fast-forward work landed ("before" for the JSON's speedup
+# block; the committed "after" numbers live next to it).
+E23_SEED_BASELINE = {
+    "timeout_storm_events_per_sec": 348_622,
+    "pipeline_item_stages_per_sec": 69_593,
+    "pipeline_done_at_ps": 66_763_323,
+}
+
+
+def e23_smoke() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_SMOKE")
+                or os.environ.get("REPRO_SMOKE"))
+
+
+def _e23_timeout_storm(procs: int, timeouts: int) -> dict:
+    """Events/sec through the heap with nothing but pooled timeouts."""
+    import time
+
+    from ...core import Simulator
+
+    sim = Simulator()
+
+    def sleeper(pid: int):
+        # Vary the delay so heap order actually churns.
+        step = 100 + (pid % 7) * 13
+        for _ in range(timeouts):
+            yield sim.delay(step)
+
+    for pid in range(procs):
+        sim.spawn(sleeper(pid), name=f"sleeper{pid}")
+    events = procs * timeouts
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    return {
+        "events": events,
+        "wall_s": wall,
+        "events_per_sec": events / wall,
+    }
+
+
+def _e23_build_pipeline(sim, n_items: int):
+    from ...core import ItemKernel, KernelSpec, Sink, Source, Stream
+
+    streams = [
+        Stream(sim, depth=4, name=f"s{i}")
+        for i in range(_E23_PIPE_KERNELS + 1)
+    ]
+    Source(sim, streams[0], range(n_items))
+    for i in range(_E23_PIPE_KERNELS):
+        ItemKernel(
+            sim,
+            KernelSpec(name=f"k{i}", ii=1, depth=4),
+            lambda x: x,
+            streams[i],
+            streams[i + 1],
+        )
+    return Sink(sim, streams[-1])
+
+
+def _e23_deep_pipeline(n_items: int) -> dict:
+    """Item-stages/sec for the same pipeline, engine vs fast-forward."""
+    import time
+
+    from ...core import Simulator
+    from ...core.fastpath import set_fast_forward
+
+    item_stages = n_items * _E23_PIPE_KERNELS
+    modes = {}
+    for mode, enabled in (("engine", False), ("fastpath", True)):
+        set_fast_forward(enabled)
+        try:
+            sim = Simulator()
+            sink = _e23_build_pipeline(sim, n_items)
+            t0 = time.perf_counter()
+            sim.run()
+            wall = time.perf_counter() - t0
+        finally:
+            set_fast_forward(None)
+        assert sink.items == n_items
+        modes[mode] = {
+            "wall_s": wall,
+            "item_stages_per_sec": item_stages / wall,
+            "done_at_ps": sink.done_at_ps,
+        }
+    assert modes["engine"]["done_at_ps"] == modes["fastpath"]["done_at_ps"], (
+        "fast-forward must preserve the exact completion time"
+    )
+    return {"item_stages": item_stages, **modes}
+
+
+def _e23_sweep_runner() -> dict:
+    """e22 grid: serial vs parallel wall clock, identical rows."""
+    import time
+
+    from ..runner import SweepRunner
+    from .base import build_spec
+
+    t0 = time.perf_counter()
+    serial = SweepRunner(build_spec("e22")).run()
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    par = SweepRunner(build_spec("e22"),
+                      parallel=_E23_SWEEP_WORKERS).run()
+    parallel_s = time.perf_counter() - t0
+    assert par.rows == serial.rows, "parallel sweep must match serial"
+    return {
+        "experiment": "e22",
+        "cells": serial.cells,
+        "workers": _E23_SWEEP_WORKERS,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "rows_match": True,
+    }
+
+
+def _e23_cached_rerun(exp_id: str) -> dict:
+    """Cold compute vs warm cached re-run for one experiment."""
+    import tempfile
+    import time
+
+    from ..cache import ResultCache
+    from ..runner import SweepRunner
+    from .base import build_spec
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        t0 = time.perf_counter()
+        cold = SweepRunner(build_spec(exp_id), cache=cache).run()
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = SweepRunner(build_spec(exp_id), cache=cache).run()
+        warm_s = time.perf_counter() - t0
+    assert cold.rows == warm.rows
+    assert warm.hits == warm.cells and warm.computed == 0
+    return {
+        "cold_s": cold_s,
+        "cached_s": warm_s,
+        "speedup": cold_s / warm_s,
+    }
+
+
+def e23_cell(ctx: Any, config: dict, seed: int) -> dict:
+    storm = _e23_timeout_storm(config["storm_procs"],
+                               config["storm_timeouts"])
+    pipe = _e23_deep_pipeline(config["pipe_items"])
+    sweep = _e23_sweep_runner()
+    e2e = {
+        "e11": _e23_cached_rerun("e11"),
+        "e22": _e23_cached_rerun("e22"),
+    }
+    return {"storm": storm, "pipe": pipe, "sweep": sweep, "e2e": e2e}
+
+
+def e23_assemble(rows: list[dict]) -> list[ResultTable]:
+    row = rows[0]
+    storm, pipe, sweep, e2e = (row["storm"], row["pipe"], row["sweep"],
+                               row["e2e"])
+    report = ResultTable(
+        "E23: simulator performance (events/sec and sweep wall clock)",
+        ("workload", "metric", "value"),
+    )
+    report.add("timeout storm", "events/sec",
+               round(storm["events_per_sec"]))
+    report.add("deep pipeline (engine)", "item-stages/sec",
+               round(pipe["engine"]["item_stages_per_sec"]))
+    report.add("deep pipeline (fastpath)", "item-stages/sec",
+               round(pipe["fastpath"]["item_stages_per_sec"]))
+    report.add("e22 sweep serial", "seconds",
+               round(sweep["serial_s"], 3))
+    report.add(f"e22 sweep x{sweep['workers']}", "seconds",
+               round(sweep["parallel_s"], 3))
+    report.add("e11 end-to-end cached", "speedup",
+               round(e2e["e11"]["speedup"], 1))
+    report.add("e22 end-to-end cached", "speedup",
+               round(e2e["e22"]["speedup"], 1))
+    report.note(
+        "fastpath and engine agree on done_at_ps="
+        f"{pipe['engine']['done_at_ps']}; sweep rows byte-identical "
+        "serial vs parallel"
+    )
+    return [report]
+
+
+@register("e23")
+def _e23_spec() -> ExperimentSpec:
+    smoke = e23_smoke()
+    config = {
+        "storm_procs": 200 if smoke else 1_000,
+        "storm_timeouts": 50 if smoke else 400,
+        "pipe_items": 2_000 if smoke else 20_000,
+    }
+    return ExperimentSpec(
+        experiment="e23",
+        title="simulator performance: engine, fast-forward, sweeps",
+        bench="bench_e23_sim_perf.py",
+        grid=(config,),
+        seeds=(23,),
+        prepare=lambda: None,
+        cell=e23_cell,
+        assemble=e23_assemble,
+        entries=(("_run_smoke", ()),),
+        context_key={"mode": "smoke" if smoke else "full"},
+        deterministic=False,
+    )

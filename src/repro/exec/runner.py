@@ -26,7 +26,8 @@ from .experiments import ExperimentSpec, build_spec
 
 __all__ = ["SweepResult", "SweepRunner", "SweepSpec"]
 
-# Public alias: the runner consumes specs, experiments.py defines them.
+# Public alias: the runner consumes specs, the experiments package
+# defines them.
 SweepSpec = ExperimentSpec
 
 # Per-worker state, populated by _init_worker after fork/spawn.
@@ -108,7 +109,8 @@ class SweepRunner:
                 misses.append(i)
                 continue
             key = cell_key(
-                spec.experiment, spec.grid[gi], spec.seeds[si], version
+                spec.experiment, spec.grid[gi], spec.seeds[si], version,
+                context=spec.context_key,
             )
             keys[i] = key
             cached = self.cache.get(key)

@@ -1,9 +1,14 @@
-"""Bench-suite plumbing: per-entry wall-clock reporting.
+"""Bench-suite plumbing: smoke-scale datasets + wall-clock reporting.
 
-Every test in this directory (the smoke suite and the golden
-equivalence checks) gets timed, and a per-experiment wall-clock table
-is printed in the terminal summary — so creeping bench cost shows up
-in plain ``pytest`` output instead of only in CI duration graphs.
+Every test in this directory runs with ``REPRO_SMOKE=1``: the shared
+context builders in ``repro.exec.experiments.contexts`` then produce
+deliberately tiny datasets/indexes/models, so the whole bench matrix
+(smoke + golden equivalence) stays CI-fast while exercising the exact
+production code paths.
+
+Each test also gets timed, and a per-experiment wall-clock table is
+printed in the terminal summary — so creeping bench cost shows up in
+plain ``pytest`` output instead of only in CI duration graphs.
 """
 
 import time
@@ -11,6 +16,12 @@ import time
 import pytest
 
 _durations: list[tuple[str, float]] = []
+
+
+@pytest.fixture(autouse=True)
+def _smoke_scale(monkeypatch):
+    """Scale the fanns/microrec contexts (and e23 sizes) down."""
+    monkeypatch.setenv("REPRO_SMOKE", "1")
 
 
 @pytest.fixture(autouse=True)

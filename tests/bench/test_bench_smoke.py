@@ -1,13 +1,12 @@
-"""Smoke tests: every benchmark entry point runs on a small config.
+"""Smoke tests: every registered bench entry point runs on a small config.
 
-Each ``benchmarks/bench_e*.py`` exposes its experiment as one or more
-``_run_*`` functions (the pytest-benchmark wrappers call them with
-session-scale fixtures).  Here we call every entry point directly —
-self-contained ones as-is, fixture-driven ones with deliberately tiny
-datasets/indexes/models — and assert they return a populated
-:class:`~repro.bench.ResultTable` that renders.  This catches import
-rot, signature drift, and shape-claim regressions without paying the
-full benchmark cost.
+The case list is *derived from the experiment registry*: for every
+registered spec, every declared ``entries`` pair is invoked on the
+bench shim — fixture-driven entries with the smoke-scale contexts the
+``REPRO_SMOKE=1`` knob (set by this directory's conftest) makes the
+shared builders produce.  A bench file without a registry entry, a
+registry entry whose bench or entry point is missing, or a shape-claim
+regression all fail here — nothing is hand-listed.
 """
 
 import importlib.util
@@ -18,137 +17,70 @@ from pathlib import Path
 import pytest
 
 from repro.bench import ResultTable
+from repro.exec import build_spec, experiment_ids
+from repro.exec.experiments import (
+    fanns_dataset,
+    fanns_index,
+    microrec_model,
+    microrec_tables,
+    microrec_trace,
+)
 
 _BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+# Entry-argument names (= benchmarks/conftest.py fixture names) mapped
+# to the shared smoke-scale context builders.
+_CONTEXTS = {
+    "ivfpq_index": fanns_index,
+    "vector_data": fanns_dataset,
+    "rec_model": microrec_model,
+    "rec_tables": microrec_tables,
+    "rec_trace": microrec_trace,
+}
 
 
 @lru_cache(maxsize=None)
 def _load(stem: str):
     """Import a benchmark module by file (they are not a package)."""
     if str(_BENCH_DIR) not in sys.path:
-        # bench modules do `from conftest import FANNS_LIST_SCALE`
         sys.path.insert(0, str(_BENCH_DIR))
-    spec = importlib.util.spec_from_file_location(stem, _BENCH_DIR / f"{stem}.py")
+    spec = importlib.util.spec_from_file_location(
+        stem, _BENCH_DIR / f"{stem}.py"
+    )
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
 
 
-def test_every_bench_module_is_covered():
-    """The case list below must track benchmarks/bench_e*.py exactly."""
+def _cases():
+    cases = []
+    for exp_id in experiment_ids():
+        spec = build_spec(exp_id)
+        for entry, arg_names in spec.entries:
+            cases.append((spec.bench[:-3], entry, arg_names))
+    return cases
+
+
+_CASES = _cases()
+
+
+def test_every_bench_module_is_registered():
+    """benchmarks/bench_e*.py and the registry must track each other."""
     on_disk = {p.stem for p in _BENCH_DIR.glob("bench_e*.py")}
-    covered = {stem for stem, _, _ in _CASES}
-    assert covered == on_disk
-
-
-# -- tiny stand-ins for the session-scale fixtures ------------------------
-
-
-@pytest.fixture(scope="module")
-def smoke_vectors():
-    from repro.workloads import clustered_dataset
-
-    # dim=16 with m=16 below gives near-exact PQ, so the recall-shape
-    # asserts inside e5/e6 hold even at this small scale.
-    return clustered_dataset(
-        n=8_000, dim=16, n_queries=64, gt_k=10, n_clusters=32,
-        cluster_std=0.25, seed=13,
-    )
-
-
-@pytest.fixture(scope="module")
-def smoke_index(smoke_vectors):
-    from repro.fanns import build_ivfpq
-
-    return build_ivfpq(smoke_vectors.base, nlist=32, m=16, ksub=256, seed=13)
-
-
-@pytest.fixture(scope="module")
-def smoke_rec_model():
-    from repro.workloads import production_like_model
-
-    # 47 tables (like the session model) so Cartesian products in e8
-    # have enough combinable tables; rows scaled down 10x.
-    return production_like_model(n_tables=47, max_rows=200_000, seed=21)
-
-
-@pytest.fixture(scope="module")
-def smoke_rec_tables(smoke_rec_model):
-    from repro.microrec import EmbeddingTables
-
-    return EmbeddingTables(smoke_rec_model, seed=21)
-
-
-@pytest.fixture(scope="module")
-def smoke_rec_trace(smoke_rec_model):
-    from repro.workloads import lookup_trace
-
-    return lookup_trace(smoke_rec_model, batch_size=64, seed=22)
-
-
-@pytest.fixture(scope="module")
-def smoke_write_amplification():
-    mod = _load("bench_e18_lsm_offload")
-    wa, table = mod._measure_write_amplification()
-    assert table.rows
-    return wa
-
-
-# (module stem, entry point, fixture names for its arguments)
-_CASES = [
-    ("bench_e1_hls_pipeline", "_run_pipeline_sweep", ()),
-    ("bench_e1_hls_pipeline", "_run_timing_ablation", ()),
-    ("bench_e2_line_rate", "_run_line_rate", ()),
-    ("bench_e3_farview_offload", "_run_aggregate_sweep", ()),
-    ("bench_e3_farview_offload", "_run_projection_crossover", ()),
-    ("bench_e4_farview_pipelines", "_run_pipelines", ()),
-    ("bench_e5_fanns_qps_recall", "_run_sweep",
-     ("smoke_index", "smoke_vectors")),
-    ("bench_e6_fanns_generator", "_run_generator",
-     ("smoke_index", "smoke_vectors")),
-    ("bench_e7_microrec_latency", "_run_latency",
-     ("smoke_rec_model", "smoke_rec_tables")),
-    ("bench_e8_microrec_cartesian", "_run_cartesian",
-     ("smoke_rec_model", "smoke_rec_tables", "smoke_rec_trace")),
-    ("bench_e9_microrec_hbm", "_run_channel_sweep",
-     ("smoke_rec_model", "smoke_rec_tables")),
-    ("bench_e9_microrec_hbm", "_run_sram_ablation",
-     ("smoke_rec_model", "smoke_rec_tables")),
-    ("bench_e10_accl_collectives", "_run_collectives", ()),
-    ("bench_e11_accl_scaling", "_run_scaling", ()),
-    ("bench_e11_accl_scaling", "_run_crossover", ()),
-    ("bench_e12_resources", "_run_resources", ()),
-    ("bench_e13_sketches", "_run_accuracy", ()),
-    ("bench_e13_sketches", "_run_throughput", ()),
-    ("bench_e14_anyprec_kmeans", "_run_precision_sweep", ()),
-    ("bench_e15_compression", "_run_ratios", ()),
-    ("bench_e15_compression", "_run_throughput", ()),
-    ("bench_e16_scaleout", "_run_distributed_fanns",
-     ("smoke_index", "smoke_vectors")),
-    ("bench_e16_scaleout", "_run_fleetrec", ()),
-    ("bench_e17_kvdirect", "_run_kvdirect", ()),
-    ("bench_e18_lsm_offload", "_run_offload", ("smoke_write_amplification",)),
-    ("bench_e19_multitenant", "_run_multitenant", ()),
-    ("bench_e20_hash_join", "_run_functional_check", ()),
-    ("bench_e20_hash_join", "_run_join_study", ()),
-    ("bench_e21_business_rules", "_run_rules_sweep", ()),
-    ("bench_e22_fault_tolerance", "_run_fault_tolerance", ()),
-    ("bench_e23_sim_perf", "_run_smoke", ()),
-]
+    registered = {build_spec(e).bench[:-3] for e in experiment_ids()}
+    assert registered == on_disk
 
 
 @pytest.mark.parametrize(
-    "stem,entry,fixture_names",
+    "stem,entry,arg_names",
     _CASES,
-    ids=[f"{stem.split('_', 1)[1]}:{entry.lstrip('_')}" for stem, entry, _ in _CASES],
+    ids=[f"{stem.split('_', 1)[1]}:{entry.lstrip('_')}"
+         for stem, entry, _ in _CASES],
 )
-def test_bench_entry_point_smoke(stem, entry, fixture_names, request):
+def test_bench_entry_point_smoke(stem, entry, arg_names):
     module = _load(stem)
-    args = [request.getfixturevalue(name) for name in fixture_names]
+    args = [_CONTEXTS[name]() for name in arg_names]
     result = getattr(module, entry)(*args)
-    if result is None:
-        # functional checks assert internally and return nothing
-        return
     assert isinstance(result, ResultTable)
     assert result.rows, f"{stem}.{entry} produced an empty table"
     rendered = result.render()

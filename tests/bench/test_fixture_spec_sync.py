@@ -1,0 +1,69 @@
+"""Bench fixtures and spec ``prepare()`` must share one construction path.
+
+PR 3 shipped the FANNS/MicroRec dataset parameters twice: once in
+``benchmarks/conftest.py`` and once (hand-mirrored, including
+``FANNS_LIST_SCALE``) in the exec package.  That duplication is gone —
+both sides now call the ``lru_cache``'d builders in
+``repro.exec.experiments.contexts`` — and these tests fail if it ever
+comes back: the bench fixtures must return the *same objects* the
+specs' ``prepare()`` uses, not equal-looking reconstructions.
+"""
+
+import importlib.util
+from pathlib import Path
+
+from repro.exec import build_spec
+from repro.exec.experiments import FANNS_LIST_SCALE, contexts
+
+_BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def _bench_conftest():
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", _BENCH_DIR / "conftest.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_list_scale_is_defined_once():
+    conftest = _bench_conftest()
+    assert conftest.FANNS_LIST_SCALE is contexts.FANNS_LIST_SCALE
+    assert FANNS_LIST_SCALE == contexts.FANNS_LIST_SCALE
+
+
+def test_bench_fixtures_return_the_spec_context_objects():
+    conftest = _bench_conftest()
+    # pytest fixtures expose the undecorated function via __wrapped__;
+    # chained fixtures receive their upstream value positionally (the
+    # delegating bodies ignore it).
+    data = conftest.vector_data.__wrapped__()
+    assert data is contexts.fanns_dataset()
+    assert conftest.ivfpq_index.__wrapped__(data) is contexts.fanns_index()
+    model = conftest.rec_model.__wrapped__()
+    assert model is contexts.microrec_model()
+    assert conftest.rec_tables.__wrapped__(model) is \
+        contexts.microrec_tables()
+    assert conftest.rec_trace.__wrapped__(model) is \
+        contexts.microrec_trace()
+
+
+def test_spec_prepare_uses_the_same_contexts():
+    e5_ctx = build_spec("e5").prepare()
+    assert e5_ctx["data"] is contexts.fanns_dataset()
+    assert e5_ctx["index"] is contexts.fanns_index()
+    e7_ctx = build_spec("e7").prepare()
+    assert e7_ctx["model"] is contexts.microrec_model()
+    assert e7_ctx["tables"] is contexts.microrec_tables()
+    e16_ctx = build_spec("e16").prepare()
+    assert e16_ctx["index"] is contexts.fanns_index()
+
+
+def test_smoke_and_full_scales_are_distinct_cache_contexts(monkeypatch):
+    monkeypatch.delenv("REPRO_SMOKE", raising=False)
+    full = contexts.fanns_dataset()
+    monkeypatch.setenv("REPRO_SMOKE", "1")
+    smoke = contexts.fanns_dataset()
+    assert smoke is not full
+    assert len(smoke.base) < len(full.base)

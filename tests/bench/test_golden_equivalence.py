@@ -1,16 +1,22 @@
-"""Golden equivalence: fast-forward must not change any result table.
+"""Golden equivalence: one experiment, every execution path, one table.
 
-The simulator-driven experiments (e1–e4's dataflow pipelines, e22's
-fault-tolerance table) are rendered twice — once with the analytic
-fast-forward disabled (pure stepped engine) and once with it enabled —
-and the two tables must be byte-identical.  This is the end-to-end
-counterpart of the unit-level differential tests in
-``tests/core/test_fastpath.py``: whatever the solver does internally,
-no experiment output is allowed to move.
+Two families of byte-identity checks:
 
-(e22's event-driven workload spawns bare client processes, so it
-exercises the *fallback* leg: enabling fast-forward must be a no-op
-there, not an error.)
+* **Fast-forward** — the simulator-driven experiments are rendered
+  twice, once with the analytic fast-forward disabled (pure stepped
+  engine) and once with it enabled; the tables must match exactly.
+  This is the end-to-end counterpart of the unit-level differential
+  tests in ``tests/core/test_fastpath.py``.  (e22's event-driven
+  workload spawns bare client processes, so it exercises the
+  *fallback* leg: enabling fast-forward must be a no-op there, not an
+  error.)
+
+* **Runner vs bench** — for *every* registered experiment, the sweep
+  runner's assembled tables must equal the bench shim's entry-point
+  tables byte-for-byte (rendered).  The case list is parameterised off
+  the registry, so adding an experiment automatically extends the
+  equivalence matrix; e23's tables contain wall-clock numbers, so it
+  is compared structurally instead.
 """
 
 import importlib.util
@@ -21,8 +27,24 @@ from pathlib import Path
 import pytest
 
 from repro.core.fastpath import set_fast_forward
+from repro.exec import SweepRunner, build_spec, experiment_ids
+from repro.exec.experiments import (
+    fanns_dataset,
+    fanns_index,
+    microrec_model,
+    microrec_tables,
+    microrec_trace,
+)
 
 _BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+_CONTEXTS = {
+    "ivfpq_index": fanns_index,
+    "vector_data": fanns_dataset,
+    "rec_model": microrec_model,
+    "rec_tables": microrec_tables,
+    "rec_trace": microrec_trace,
+}
 
 
 @lru_cache(maxsize=None)
@@ -68,3 +90,30 @@ def test_fast_forward_preserves_table(stem, entry):
     finally:
         set_fast_forward(None)
     assert fast == engine
+
+
+@pytest.mark.parametrize("exp_id", experiment_ids())
+def test_runner_matches_bench_path(exp_id):
+    spec = build_spec(exp_id)
+    result = SweepRunner(spec).run()
+
+    module = _load(spec.bench[:-3])
+    bench_tables = []
+    for entry, arg_names in spec.entries:
+        args = [_CONTEXTS[name]() for name in arg_names]
+        bench_tables.append(getattr(module, entry)(*args))
+
+    assert len(result.tables) == len(bench_tables), (
+        f"{exp_id}: runner assembled {len(result.tables)} tables but the "
+        f"bench declares {len(bench_tables)} entry points"
+    )
+    if spec.deterministic:
+        assert [t.render() for t in result.tables] == \
+            [t.render() for t in bench_tables]
+    else:
+        # Wall-clock tables (e23): same shape and labels, moving values.
+        for runner_t, bench_t in zip(result.tables, bench_tables):
+            assert runner_t.title == bench_t.title
+            assert len(runner_t.rows) == len(bench_t.rows)
+            assert [r[:2] for r in runner_t.rows] == \
+                [r[:2] for r in bench_t.rows]

@@ -1,0 +1,97 @@
+"""The experiment registry: completeness, metadata, and spec hygiene.
+
+The registry is the single index every other layer hangs off — the
+CLI (``repro run``/``repro list``), the bench shims, the golden
+equivalence suite, CI's smoke matrix.  These tests pin the registry's
+invariants: all 23 experiments registered, each pointing at a bench
+shim that exists and exposes the declared entry points, cells
+returning cache-safe plain JSON types, and the smoke/full dataset
+scale reflected in the cache identity.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exec import build_spec, experiment_ids
+from repro.exec.experiments import register
+from repro.exec.experiments.contexts import scale_key
+
+_REPO = Path(__file__).resolve().parents[2]
+_BENCH_DIR = _REPO / "benchmarks"
+
+
+def test_all_23_experiments_registered():
+    assert experiment_ids() == tuple(f"e{n}" for n in range(1, 24))
+
+
+def test_every_spec_points_at_an_existing_bench():
+    on_disk = {p.name for p in _BENCH_DIR.glob("bench_e*.py")}
+    registered = {build_spec(e).bench for e in experiment_ids()}
+    assert registered == on_disk
+
+
+@pytest.mark.parametrize("exp_id", experiment_ids())
+def test_entries_resolve_in_the_bench_shim(exp_id):
+    spec = build_spec(exp_id)
+    assert spec.entries, f"{exp_id} declares no bench entry points"
+    if str(_BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(_BENCH_DIR))
+    mod_spec = importlib.util.spec_from_file_location(
+        f"registry_{spec.bench[:-3]}", _BENCH_DIR / spec.bench
+    )
+    module = importlib.util.module_from_spec(mod_spec)
+    mod_spec.loader.exec_module(module)
+    for entry, _args in spec.entries:
+        assert callable(getattr(module, entry, None)), (
+            f"{spec.bench} lacks entry point {entry}"
+        )
+
+
+@pytest.mark.parametrize("exp_id", experiment_ids())
+def test_spec_metadata_is_sane(exp_id):
+    spec = build_spec(exp_id)
+    assert spec.experiment == exp_id
+    assert spec.title
+    assert spec.seeds and spec.grid
+    assert spec.cells == len(spec.grid) * len(spec.seeds)
+    json.dumps(spec.grid)  # configs must be cache-key material
+
+
+def test_cells_return_plain_json_types():
+    # e12 is the cheapest sweep with numpy-laden internals; the spec's
+    # normalisation wrapper must strip them before rows hit the cache.
+    spec = build_spec("e12")
+    row = spec.cell(spec.prepare(), spec.grid[0], spec.seeds[0])
+    roundtripped = json.loads(json.dumps(row))
+    assert roundtripped == row
+
+
+def test_context_key_tracks_dataset_scale(monkeypatch):
+    monkeypatch.delenv("REPRO_SMOKE", raising=False)
+    assert scale_key() == {"scale": "full"}
+    assert build_spec("e5").context_key == {"scale": "full"}
+    monkeypatch.setenv("REPRO_SMOKE", "1")
+    assert scale_key() == {"scale": "smoke"}
+    assert build_spec("e5").context_key == {"scale": "smoke"}
+
+
+def test_unknown_experiment_is_a_key_error():
+    with pytest.raises(KeyError, match="e99"):
+        build_spec("e99")
+
+
+def test_double_registration_is_rejected():
+    with pytest.raises(ValueError, match="registered twice"):
+        register("e1")(lambda: None)
+
+
+def test_part_selects_grid_subsets():
+    spec = build_spec("e3")
+    agg = spec.part(part="agg")
+    proj = spec.part(part="proj")
+    assert len(agg) + len(proj) == len(spec.grid)
+    assert all(c["part"] == "agg" for c in agg)

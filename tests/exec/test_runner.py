@@ -18,6 +18,8 @@ from repro.exec import (
 def _counting_spec(calls):
     return SweepSpec(
         experiment="toy",
+        title="toy counting spec",
+        bench="",
         grid=tuple({"x": x} for x in (1, 2, 3)),
         seeds=(0, 1),
         prepare=lambda: {"offset": 100},
@@ -62,7 +64,7 @@ def test_code_version_change_invalidates(tmp_path, monkeypatch):
 def test_registry_rejects_unknown_experiment():
     with pytest.raises(KeyError):
         build_spec("e99")
-    assert set(SWEEPABLE) == {"e5", "e11", "e22"}
+    assert SWEEPABLE == tuple(f"e{n}" for n in range(1, 24))
 
 
 def test_parallel_must_be_positive():
