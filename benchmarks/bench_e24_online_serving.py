@@ -1,0 +1,30 @@
+"""E24 — online serving: latency percentiles and goodput vs offered load.
+
+Each paper use case (FANNS, MicroRec, Farview) runs as an online
+service — open-loop Poisson-burst arrivals, dynamic batching,
+SLO-aware admission — across offered loads from 0.4x to 1.4x the
+backend's full-batch capacity.  Shape claims: every backend shows the
+saturation knee (p99 inflects upward past capacity), no shedding while
+underloaded, mandatory shedding at overload, and goodput that plateaus
+at capacity instead of collapsing.
+
+The per-load cells and the table assembly live in
+``repro.exec.experiments`` so ``repro run e24 --parallel N`` executes
+the exact same code this bench does.
+"""
+
+from repro.bench import ResultTable
+from repro.exec import build_spec
+
+
+def _run_online_serving() -> ResultTable:
+    return build_spec("e24").tables()[0]
+
+
+def test_e24_online_serving(benchmark):
+    table = benchmark.pedantic(_run_online_serving, rounds=1, iterations=1)
+    table.show()
+
+
+if __name__ == "__main__":
+    _run_online_serving().show()

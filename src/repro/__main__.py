@@ -10,6 +10,10 @@ Subcommands:
   through the sweep runner (:mod:`repro.exec`): every cell is cached,
   re-runs are free, and ``--parallel`` fans the grid over worker
   processes.
+* ``serve [--backend B] [--load X]`` — drive one accelerator as an
+  online service (:mod:`repro.serve`): open-loop traffic, dynamic
+  batching, SLO-aware admission; prints latency percentiles, goodput,
+  and shedding for the run.
 
 ``run --trace OUT.json`` records the run through the observability
 layer instead: it delegates to pytest over ``benchmarks/`` (which must
@@ -46,6 +50,7 @@ _INVENTORY = [
     ("repro.kvstore", "smart-NIC key-value store (KV-Direct)"),
     ("repro.faults", "fault injection, timeouts, retry/recovery"),
     ("repro.exec", "experiment registry, sweep runner, result cache"),
+    ("repro.serve", "online serving: traffic, batching, SLO admission"),
     ("repro.workloads", "synthetic workload generators"),
 ]
 
@@ -213,6 +218,91 @@ def _cmd_run(
     return _cmd_run_sweep(keys, parallel, no_cache, faults)
 
 
+def _cmd_serve(args) -> int:
+    """Run one online-serving session and print its report."""
+    from .exec.experiments.serving import build_backend
+    from .serve import (
+        AdmissionPolicy,
+        AutoscalerPolicy,
+        BatchPolicy,
+        OpenLoopConfig,
+        ServiceConfig,
+        capacity_qps,
+        simulate_service,
+    )
+
+    if args.faults is not None and not 0.0 <= args.faults <= 1.0:
+        print(f"error: --faults must be in [0, 1], got {args.faults}",
+              file=sys.stderr)
+        return 2
+    try:
+        backend = build_backend(args.backend)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    batch_ps = backend.batch_service_ps(backend.max_batch)
+    capacity = capacity_qps(backend, args.replicas)
+    offered = args.qps if args.qps is not None else capacity * args.load
+    autoscaler = None
+    if args.autoscale:
+        autoscaler = AutoscalerPolicy(
+            min_replicas=1,
+            max_replicas=max(4, 2 * args.replicas),
+            interval_ps=2 * batch_ps,
+        )
+    service = ServiceConfig(
+        batch=BatchPolicy(max_batch=backend.max_batch,
+                          max_wait_ps=max(1, batch_ps // 2)),
+        admission=AdmissionPolicy(max_queue=4 * backend.max_batch),
+        replicas=args.replicas,
+        autoscaler=autoscaler,
+    )
+    traffic = OpenLoopConfig(
+        offered_qps=offered,
+        n_requests=args.requests,
+        slo_ps=12 * batch_ps,
+        burst_factor=args.burst,
+    )
+    plan = None
+    if args.faults:
+        from .faults import FaultPlan
+
+        plan = FaultPlan(seed=args.seed, drop_rate=args.faults,
+                         spike_rate=args.faults,
+                         spike_ps=(batch_ps, 4 * batch_ps))
+    report = simulate_service(backend, traffic, service, seed=args.seed,
+                              plan=plan)
+    row = report.row()
+    row["capacity_qps"] = capacity
+    row["offered_qps"] = offered
+    if args.as_json:
+        print(json.dumps(row, indent=2))
+        return 0
+    print(f"serve: {backend.name} x{args.replicas} replicas "
+          f"(max_batch {backend.max_batch})")
+    print(f"  offered     {offered:>12,.0f} QPS "
+          f"({offered / capacity:.2f}x capacity {capacity:,.0f})")
+    print(f"  outcome     {report.completed} completed, "
+          f"{report.shed} shed, {report.failed} failed "
+          f"of {report.offered} offered")
+    print(f"  latency     p50 {report.p50_us:,.1f} us | "
+          f"p95 {report.p95_us:,.1f} us | p99 {report.p99_us:,.1f} us")
+    print(f"  goodput     {report.goodput_qps:,.0f} QPS in SLO "
+          f"({report.in_slo}/{report.offered} requests)")
+    print(f"  batching    {report.batches} batches, "
+          f"mean size {report.mean_batch:.2f}")
+    if report.shed_by_reason:
+        reasons = ", ".join(f"{k}={v}"
+                            for k, v in sorted(report.shed_by_reason.items()))
+        print(f"  shedding    {reasons}")
+    if args.autoscale:
+        peak = max((r for _, _, r in report.autoscale_decisions),
+                   default=args.replicas)
+        print(f"  autoscale   final {report.replicas_final} replicas "
+              f"(peak {peak}, {len(report.autoscale_decisions)} samples)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -250,6 +340,49 @@ def main(argv: list[str] | None = None) -> int:
         help="recompute every sweep cell instead of reading "
              "results/cache/",
     )
+    serve = sub.add_parser(
+        "serve",
+        help="drive one backend as an online service under load",
+    )
+    serve.add_argument(
+        "--backend", default="synthetic",
+        choices=("synthetic", "fanns", "microrec", "farview"),
+        help="which accelerator to serve (default: synthetic)",
+    )
+    serve.add_argument(
+        "--load", metavar="X", type=float, default=1.0,
+        help="offered load as a multiple of capacity (default: 1.0)",
+    )
+    serve.add_argument(
+        "--qps", metavar="F", type=float, default=None,
+        help="absolute offered rate; overrides --load",
+    )
+    serve.add_argument(
+        "--requests", metavar="N", type=int, default=2_000,
+        help="requests in the open-loop schedule (default: 2000)",
+    )
+    serve.add_argument(
+        "--replicas", metavar="N", type=int, default=2,
+        help="accelerator replicas behind the batcher (default: 2)",
+    )
+    serve.add_argument(
+        "--burst", metavar="F", type=float, default=1.0,
+        help="burstiness factor; 1.0 = pure Poisson (default: 1.0)",
+    )
+    serve.add_argument(
+        "--seed", metavar="N", type=int, default=0,
+        help="traffic/fault schedule seed (default: 0)",
+    )
+    serve.add_argument(
+        "--faults", metavar="RATE", type=float, default=None,
+        help="inject batch drops and latency spikes at this rate (0..1)",
+    )
+    serve.add_argument(
+        "--autoscale", action="store_true",
+        help="enable the queue-pressure replica autoscaler",
+    )
+    serve.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the report as JSON")
     args = parser.parse_args(argv)
     if args.command == "info":
         return _cmd_info()
@@ -260,6 +393,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "run":
         return _cmd_run(args.ids, trace=args.trace, faults=args.faults,
                         parallel=args.parallel, no_cache=args.no_cache)
+    if args.command == "serve":
+        return _cmd_serve(args)
     parser.print_help()
     return 0
 

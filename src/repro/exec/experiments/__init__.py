@@ -1,4 +1,4 @@
-"""The experiment registry package: all 23 experiments as specs.
+"""The experiment registry package: all 24 experiments as specs.
 
 Importing this package registers every experiment family module.  The
 public surface is :func:`build_spec` / :func:`experiment_ids` /
@@ -29,6 +29,7 @@ from . import farview as _farview
 from . import microrec as _microrec
 from . import operators as _operators
 from . import perf as _perf
+from . import serving as _serving
 from . import storage as _storage
 
 # Legacy re-exports: PR 3 shipped these at repro.exec.experiments

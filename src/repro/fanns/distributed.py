@@ -150,7 +150,11 @@ class DistributedFanns:
                 ids_cat = np.concatenate(ids_l)
                 dists_cat = np.concatenate(dists_l)
                 top = min(k, len(ids_cat))
-                part = np.argpartition(dists_cat, top - 1)[:top]
+                # Local top-k under the same (distance, id) total order
+                # the single-node index uses: every member of the
+                # global top-k is then guaranteed to survive its
+                # shard's cut, ties included.
+                part = np.lexsort((ids_cat, dists_cat))[:top]
                 all_ids.append(ids_cat[part])
                 all_dists.append(dists_cat[part])
             if not all_ids:
@@ -158,7 +162,6 @@ class DistributedFanns:
             ids_cat = np.concatenate(all_ids)
             dists_cat = np.concatenate(all_dists)
             top = min(k, len(ids_cat))
-            part = np.argpartition(dists_cat, top - 1)[:top]
-            order = part[np.argsort(dists_cat[part], kind="stable")]
+            order = np.lexsort((ids_cat, dists_cat))[:top]
             out[qi, :top] = ids_cat[order]
         return out

@@ -132,8 +132,12 @@ class IVFPQIndex:
             ids = np.concatenate(candidate_ids)
             dists = np.concatenate(candidate_dists)
             top = min(k, len(ids))
-            part = np.argpartition(dists, top - 1)[:top]
-            order = part[np.argsort(dists[part], kind="stable")]
+            # Total order on (distance, id): ADC distances tie exactly
+            # when codes collide, and argpartition would then keep an
+            # arbitrary tied candidate — the sharded merge in
+            # repro.fanns.distributed must be able to reproduce this
+            # selection bit-for-bit.
+            order = np.lexsort((ids, dists))[:top]
             out[qi, :top] = ids[order]
         if stats is not None:
             stats.n_queries += queries.shape[0]

@@ -1,0 +1,420 @@
+"""The event-driven serving loop: traffic -> admission -> batcher ->
+replicated backend instances.
+
+:func:`simulate_service` runs one serving session in the discrete-event
+engine and returns a :class:`ServiceReport`:
+
+* an **arrival process** replays a pre-drawn open-loop schedule (or
+  closed-loop clients issue/wait/think);
+* each arrival passes the :class:`~repro.serve.admission
+  .AdmissionController` — shed requests are accounted, not queued;
+* the :class:`~repro.serve.batcher.DynamicBatcher` forms batches into a
+  bounded dispatch stream;
+* ``replicas`` replica processes pull batches and hold them for the
+  backend's ``batch_service_ps``; an optional
+  :class:`~repro.serve.admission.ReplicaAutoscaler` moves the replica
+  count at runtime;
+* an optional :class:`~repro.faults.FaultPlan` degrades service:
+  latency spikes stretch a batch, drops fail it outright (its requests
+  count as failures, not goodput) — sites are per-replica, so the
+  schedule is deterministic under any interleaving.
+
+Everything is seeded; two runs of the same
+``(backend, traffic, config, seed, plan)`` produce byte-identical
+reports.  Latency percentiles are computed exactly from the per-request
+latency list; the same latencies also feed a
+:class:`~repro.obs.metrics.MetricsRegistry` histogram so serving runs
+show up in metrics snapshots next to every other instrumented layer.
+
+Replica processes use *bounded* stream gets (``dispatch.get(timeout)``)
+and re-check termination on :class:`~repro.core.stream.StreamTimeout`,
+so the service can never deadlock on a drained queue — the property the
+fault-path tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.sim import Simulator
+from ..core.stream import Stream, StreamTimeout
+from ..obs.metrics import MetricsRegistry
+from ..workloads import ZipfSampler
+from .admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AutoscalerPolicy,
+    ReplicaAutoscaler,
+)
+from .backend import Backend
+from .batcher import BatchPolicy, DynamicBatcher
+from .traffic import (
+    ClosedLoopConfig,
+    OpenLoopConfig,
+    Request,
+    generate_requests,
+)
+
+__all__ = ["ServiceConfig", "ServiceReport", "simulate_service"]
+
+_PS_PER_S = 1_000_000_000_000
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """One backend's serving configuration."""
+
+    batch: BatchPolicy
+    admission: AdmissionPolicy
+    replicas: int = 1
+    autoscaler: AutoscalerPolicy | None = None
+    dispatch_depth: int = 2
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if self.dispatch_depth < 1:
+            raise ValueError("dispatch_depth must be >= 1")
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Aggregate outcome of one serving session."""
+
+    backend: str
+    offered: int
+    admitted: int
+    shed: int
+    shed_by_reason: dict[str, int]
+    completed: int
+    failed: int
+    in_slo: int
+    batches: int
+    mean_batch: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    makespan_s: float
+    achieved_qps: float
+    goodput_qps: float
+    replicas_final: int
+    autoscale_decisions: tuple[tuple[int, int, int], ...] = ()
+
+    def row(self) -> dict[str, Any]:
+        """The report as a plain JSON-able dict (one sweep cell)."""
+        return {
+            "backend": self.backend,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "shed_by_reason": dict(self.shed_by_reason),
+            "completed": self.completed,
+            "failed": self.failed,
+            "in_slo": self.in_slo,
+            "batches": self.batches,
+            "mean_batch": self.mean_batch,
+            "p50_us": self.p50_us,
+            "p95_us": self.p95_us,
+            "p99_us": self.p99_us,
+            "makespan_s": self.makespan_s,
+            "achieved_qps": self.achieved_qps,
+            "goodput_qps": self.goodput_qps,
+            "replicas_final": self.replicas_final,
+        }
+
+
+class _OnlineService:
+    """Internal wiring for one serving session (see module docstring)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        backend: Backend,
+        config: ServiceConfig,
+        expected: int,
+        plan=None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.sim = sim
+        self.backend = backend
+        self.config = config
+        self.plan = plan
+        # Not `registry or ...`: an empty registry is falsy (__len__).
+        self.registry = (
+            registry if registry is not None
+            else MetricsRegistry(enabled=False)
+        )
+        self.dispatch = Stream(
+            sim,
+            depth=config.dispatch_depth,
+            name=f"serve.{backend.name}.dispatch",
+        )
+        self.batcher = DynamicBatcher(
+            sim, config.batch, self.dispatch,
+            name=f"serve.{backend.name}.batcher",
+        )
+        self.admission = AdmissionController(
+            config.admission, backend, self.batcher
+        )
+        self._expected = expected
+        self._accounted = 0
+        self._latencies: list[int] = []
+        self._in_slo = 0
+        self._failed = 0
+        self._last_done_ps = 0
+        self._waiters: dict[int, Any] = {}
+        # Idle replicas re-check termination at this cadence; it only
+        # sets how quickly the run winds down, never the results.
+        self._poll_ps = max(
+            1,
+            config.batch.max_wait_ps,
+            backend.batch_service_ps(backend.max_batch),
+        )
+        # Metrics instruments (no-ops when the registry is disabled).
+        reg = self.registry
+        self._m_latency = reg.histogram("serve.latency_ps",
+                                        backend=backend.name)
+        self._m_wait = reg.histogram("serve.batch_wait_ps",
+                                     backend=backend.name)
+        self._m_admitted = reg.counter("serve.admitted", backend=backend.name)
+        self._m_shed = reg.counter("serve.shed", backend=backend.name)
+        self._m_completed = reg.counter("serve.completed",
+                                        backend=backend.name)
+        self._m_failed = reg.counter("serve.failed", backend=backend.name)
+        self._m_batches = reg.counter("serve.batches", backend=backend.name)
+        self._m_replicas = reg.gauge("serve.replicas", backend=backend.name)
+        self.replica_target = 0
+        self._live = 0
+        self._next_rid = 0
+        self.autoscaler: ReplicaAutoscaler | None = None
+        self.set_replicas(config.replicas)
+        if config.autoscaler is not None:
+            self.autoscaler = ReplicaAutoscaler(config.autoscaler, self)
+            sim.spawn(self.autoscaler.run(),
+                      name=f"serve.{backend.name}.autoscaler")
+
+    # -- state the admission controller / autoscaler read ------------------
+
+    @property
+    def queued(self) -> int:
+        """Queue pressure: batcher occupancy plus undelivered batches."""
+        return (
+            self.batcher.depth
+            + len(self.dispatch) * self.config.batch.max_batch
+        )
+
+    @property
+    def finished(self) -> bool:
+        return self._accounted >= self._expected
+
+    # -- replica management -------------------------------------------------
+
+    def set_replicas(self, target: int) -> None:
+        """Steer the live replica count (autoscaler hook)."""
+        if target < 1:
+            raise ValueError("replica target must be >= 1")
+        self.replica_target = target
+        self._m_replicas.set(target)
+        while self._live < target:
+            rid = self._next_rid
+            self._next_rid += 1
+            self._live += 1
+            self.sim.spawn(
+                self._replica(rid),
+                name=f"serve.{self.backend.name}.r{rid}",
+            )
+
+    def _replica(self, rid: int):
+        sim = self.sim
+        backend = self.backend
+        site = f"serve.{backend.name}.r{rid}"
+        while True:
+            if self._live > self.replica_target and self.dispatch.empty:
+                self._live -= 1
+                return
+            if self.finished or (
+                self.batcher.drained and self.dispatch.empty
+            ):
+                self._live -= 1
+                return
+            try:
+                batch = yield self.dispatch.get(timeout=self._poll_ps)
+            except StreamTimeout:
+                continue
+            service_ps = backend.batch_service_ps(len(batch))
+            dropped = False
+            if self.plan is not None:
+                service_ps += self.plan.spike_delay_ps(site)
+                dropped = self.plan.drop(site)
+            yield sim.timeout(int(service_ps))
+            self._m_batches.inc()
+            for req, submit_ps in zip(batch.items, batch.submit_ps):
+                self._m_wait.observe(batch.formed_ps - submit_ps)
+                if dropped:
+                    self._record_failure(req)
+                else:
+                    self._record_completion(req)
+
+    # -- request accounting --------------------------------------------------
+
+    def offer(self, req: Request) -> bool:
+        """Run admission for ``req``; queue it or account the shed."""
+        admitted, _reason = self.admission.admit(req, self.replica_target)
+        if admitted:
+            self._m_admitted.inc()
+            self.batcher.submit(req)
+        else:
+            self._m_shed.inc()
+            self._accounted += 1
+            self._wake(req.rid)
+        return admitted
+
+    def _record_completion(self, req: Request) -> None:
+        now = self.sim.now
+        latency = now - req.arrival_ps
+        self._latencies.append(latency)
+        self._m_latency.observe(latency)
+        self._m_completed.inc()
+        if now <= req.deadline_ps:
+            self._in_slo += 1
+        self._last_done_ps = max(self._last_done_ps, now)
+        self._accounted += 1
+        self._wake(req.rid)
+
+    def _record_failure(self, req: Request) -> None:
+        self._failed += 1
+        self._m_failed.inc()
+        self._last_done_ps = max(self._last_done_ps, self.sim.now)
+        self._accounted += 1
+        self._wake(req.rid)
+
+    def _wake(self, rid: int) -> None:
+        waiter = self._waiters.pop(rid, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed()
+
+    # -- report --------------------------------------------------------------
+
+    def report(self, offered: int) -> ServiceReport:
+        assert self._accounted == offered, (
+            f"accounting leak: {self._accounted} accounted, "
+            f"{offered} offered"
+        )
+        lat_us = np.array(self._latencies, dtype=np.float64) / 1e6
+        if lat_us.size:
+            p50, p95, p99 = (
+                float(np.percentile(lat_us, q)) for q in (50, 95, 99)
+            )
+        else:
+            p50 = p95 = p99 = 0.0
+        makespan_s = self._last_done_ps / _PS_PER_S
+        completed = len(self._latencies)
+        batches = self.batcher.batches
+        return ServiceReport(
+            backend=self.backend.name,
+            offered=offered,
+            admitted=self.admission.admitted,
+            shed=self.admission.shed_total,
+            shed_by_reason=dict(self.admission.shed),
+            completed=completed,
+            failed=self._failed,
+            in_slo=self._in_slo,
+            batches=batches,
+            mean_batch=(
+                self.batcher.items_in / batches if batches else 0.0
+            ),
+            p50_us=p50,
+            p95_us=p95,
+            p99_us=p99,
+            makespan_s=makespan_s,
+            achieved_qps=completed / makespan_s if makespan_s else 0.0,
+            goodput_qps=self._in_slo / makespan_s if makespan_s else 0.0,
+            replicas_final=self.replica_target,
+            autoscale_decisions=tuple(
+                self.autoscaler.decisions
+            ) if self.autoscaler else (),
+        )
+
+
+def _open_loop_arrivals(service: _OnlineService, requests: list[Request]):
+    sim = service.sim
+    for req in requests:
+        gap = req.arrival_ps - sim.now
+        if gap > 0:
+            yield sim.timeout(gap)
+        service.offer(req)
+    service.batcher.close()
+
+
+def _closed_loop_client(
+    service: _OnlineService,
+    cfg: ClosedLoopConfig,
+    cid: int,
+    tenants: np.ndarray,
+    done: list[int],
+):
+    sim = service.sim
+    prio = frozenset(cfg.priority_tenants)
+    for j in range(cfg.requests_per_client):
+        rid = cid * cfg.requests_per_client + j
+        tenant = int(tenants[j])
+        req = Request(
+            rid=rid,
+            tenant=tenant,
+            arrival_ps=sim.now,
+            deadline_ps=sim.now + cfg.slo_ps,
+            priority=tenant in prio,
+        )
+        waiter = sim.event()
+        service._waiters[rid] = waiter
+        if service.offer(req):
+            yield waiter
+        if cfg.think_ps:
+            yield sim.timeout(cfg.think_ps)
+    done[0] += 1
+    if done[0] == cfg.n_clients:
+        service.batcher.close()
+
+
+def simulate_service(
+    backend: Backend,
+    traffic: OpenLoopConfig | ClosedLoopConfig,
+    config: ServiceConfig,
+    seed: int = 0,
+    plan=None,
+    registry: MetricsRegistry | None = None,
+    tracer=None,
+) -> ServiceReport:
+    """Run one serving session; see the module docstring for the wiring."""
+    sim = Simulator(tracer=tracer)
+    service = _OnlineService(
+        sim, backend, config,
+        expected=traffic.n_requests,
+        plan=plan,
+        registry=registry,
+    )
+    if isinstance(traffic, OpenLoopConfig):
+        requests = generate_requests(traffic, seed)
+        sim.spawn(
+            _open_loop_arrivals(service, requests),
+            name=f"serve.{backend.name}.arrivals",
+        )
+    else:
+        rng = np.random.default_rng(seed)
+        tenants = ZipfSampler(
+            traffic.n_tenants, traffic.tenant_skew, rng
+        ).sample(traffic.n_requests).reshape(
+            traffic.n_clients, traffic.requests_per_client
+        )
+        done = [0]
+        for cid in range(traffic.n_clients):
+            sim.spawn(
+                _closed_loop_client(service, traffic, cid, tenants[cid],
+                                    done),
+                name=f"serve.{backend.name}.client{cid}",
+            )
+    sim.run()
+    return service.report(traffic.n_requests)

@@ -1,0 +1,51 @@
+"""E24 determinism: byte-identical runs, parallel equivalence, cache.
+
+The serving experiment is the registry's most concurrency-heavy cell
+(an event-driven service with replicated consumers), so it gets its
+own seeded-determinism gate: repeated runs and ``--parallel 2`` must
+produce byte-identical tables, and a warm content-addressed cache must
+serve every cell without recompute.
+
+Runs at smoke scale so three full sweeps stay in tier-1 budget.
+"""
+
+import pytest
+
+from repro.exec import ResultCache, SweepRunner, build_spec
+
+
+@pytest.fixture(autouse=True)
+def _smoke(monkeypatch):
+    monkeypatch.setenv("REPRO_SMOKE", "1")
+
+
+def _render(result):
+    return [t.render() for t in result.tables]
+
+
+def test_e24_repeat_runs_are_byte_identical():
+    first = SweepRunner(build_spec("e24")).run()
+    second = SweepRunner(build_spec("e24")).run()
+    assert first.rows == second.rows
+    assert _render(first) == _render(second)
+
+
+def test_e24_parallel_matches_serial():
+    serial = SweepRunner(build_spec("e24")).run()
+    par = SweepRunner(build_spec("e24"), parallel=2).run()
+    assert par.rows == serial.rows
+    assert _render(par) == _render(serial)
+
+
+def test_e24_cached_rerun_recomputes_nothing(tmp_path):
+    cache = ResultCache(tmp_path)
+    cold = SweepRunner(build_spec("e24"), cache=cache).run()
+    assert cold.computed == cold.cells and cold.hits == 0
+    warm = SweepRunner(build_spec("e24"), cache=cache).run()
+    assert warm.hits == warm.cells and warm.computed == 0
+    assert _render(warm) == _render(cold)
+
+
+def test_e24_smoke_and_full_scale_have_distinct_cache_identity():
+    smoke_key = build_spec("e24").context_key
+    assert smoke_key == {"scale": "smoke"}

@@ -3,7 +3,7 @@
 The registry is the single index every other layer hangs off — the
 CLI (``repro run``/``repro list``), the bench shims, the golden
 equivalence suite, CI's smoke matrix.  These tests pin the registry's
-invariants: all 23 experiments registered, each pointing at a bench
+invariants: all 24 experiments registered, each pointing at a bench
 shim that exists and exposes the declared entry points, cells
 returning cache-safe plain JSON types, and the smoke/full dataset
 scale reflected in the cache identity.
@@ -24,8 +24,8 @@ _REPO = Path(__file__).resolve().parents[2]
 _BENCH_DIR = _REPO / "benchmarks"
 
 
-def test_all_23_experiments_registered():
-    assert experiment_ids() == tuple(f"e{n}" for n in range(1, 24))
+def test_all_24_experiments_registered():
+    assert experiment_ids() == tuple(f"e{n}" for n in range(1, 25))
 
 
 def test_every_spec_points_at_an_existing_bench():

@@ -64,7 +64,7 @@ def test_code_version_change_invalidates(tmp_path, monkeypatch):
 def test_registry_rejects_unknown_experiment():
     with pytest.raises(KeyError):
         build_spec("e99")
-    assert SWEEPABLE == tuple(f"e{n}" for n in range(1, 24))
+    assert SWEEPABLE == tuple(f"e{n}" for n in range(1, 25))
 
 
 def test_parallel_must_be_positive():

@@ -65,3 +65,47 @@ def test_single_node_has_no_gather_cost():
 def test_validation():
     with pytest.raises(ValueError):
         DistributedFanns(_INDEX, n_nodes=0)
+
+
+# -- tie-breaking under exact distance ties ---------------------------------
+#
+# Duplicated base vectors share PQ codes, so their ADC distances tie
+# *exactly*.  Before the (distance, id) total order, the single-node
+# merge kept whichever tied candidate argpartition happened to leave in
+# place while each shard's local cut could keep a different one — the
+# two paths returned different ids for the same query.
+
+def _duplicate_setup():
+    rng = np.random.default_rng(3)
+    unique = rng.normal(size=(60, 16)).astype(np.float32)
+    base = np.repeat(unique, 40, axis=0)   # 40-way exact duplicates
+    queries = unique[:10] + rng.normal(
+        scale=0.01, size=(10, 16)
+    ).astype(np.float32)
+    index = build_ivfpq(base, nlist=16, m=4, ksub=16, seed=3)
+    return index, queries
+
+
+def test_shard_and_merge_matches_search_under_exact_ties():
+    index, queries = _duplicate_setup()
+    single = index.search(queries, 10, 8)
+    for n_nodes in (1, 2, 3, 5):
+        dist = DistributedFanns(index, n_nodes=n_nodes)
+        merged = dist.shard_and_merge(queries, k=10, nprobe=8)
+        assert np.array_equal(merged, single), f"n_nodes={n_nodes}"
+
+
+def test_tied_candidates_resolve_to_smallest_ids():
+    """Among exact ties the lowest vector id wins, at every k cut."""
+    index, queries = _duplicate_setup()
+    wide = index.search(queries, 40, 8)
+    narrow = index.search(queries, 10, 8)
+    assert np.array_equal(wide[:, :10], narrow), \
+        "the top-k cut must be a prefix of a wider search"
+    # np.repeat lays out unique vector j's duplicates at contiguous ids
+    # 40j..40j+39; ties resolve id-ascending, so whatever portion of
+    # the nearest group is reported must be its smallest ids, in order.
+    for qi in range(queries.shape[0]):
+        j = int(wide[qi][0]) // 40
+        group = [int(i) for i in wide[qi] if int(i) // 40 == j]
+        assert group == list(range(40 * j, 40 * j + len(group)))

@@ -77,3 +77,61 @@ def test_fetch_latency_higher_under_equal_load():
     off_8 = simulate_clients(server, plan, "t", 8, mode="offload")
     fetch_8 = simulate_clients(server, plan, "t", 8, mode="fetch")
     assert fetch_8.mean_latency_s > 3 * off_8.mean_latency_s
+
+
+def test_port_admission_serialises_contending_scans():
+    """The shared DRAM port is FIFO: N clients' scans serialise, so the
+    makespan is N scans end-to-end, and per-query latency grows with
+    the queue ahead of it rather than all queries finishing together."""
+    server, plan = _setup()
+    solo = simulate_clients(server, plan, "t", 1, queries_per_client=1)
+    contended = simulate_clients(server, plan, "t", 8, queries_per_client=1)
+    assert contended.queries_total == 8
+    # All 8 scans go through one port: the makespan covers ~8 scans.
+    assert contended.makespan_s > 6 * solo.makespan_s
+    # The mean waits out half the queue: well above solo latency...
+    assert contended.mean_latency_s > 3 * solo.mean_latency_s
+    # ...and the slowest query (== makespan, clients start together)
+    # is about twice the mean of a uniformly draining FIFO queue.
+    assert contended.makespan_s < 3 * contended.mean_latency_s
+
+
+def test_queries_per_client_scales_makespan_not_latency():
+    """Back-to-back queries from one client pipeline through the empty
+    port: 4x the queries means ~4x the makespan at ~equal per-query
+    latency (no self-contention)."""
+    server, plan = _setup()
+    one = simulate_clients(server, plan, "t", 1, queries_per_client=1)
+    four = simulate_clients(server, plan, "t", 1, queries_per_client=4)
+    assert four.queries_total == 4
+    assert four.makespan_s == pytest.approx(4 * one.makespan_s, rel=0.05)
+    assert four.mean_latency_s == pytest.approx(one.mean_latency_s,
+                                                rel=0.05)
+
+
+def test_aggregate_qps_is_makespan_accounting_identity():
+    server, plan = _setup()
+    out = simulate_clients(server, plan, "t", 4, queries_per_client=3)
+    assert out.queries_total == 12
+    assert out.aggregate_qps == pytest.approx(
+        out.queries_total / out.makespan_s
+    )
+
+
+def test_busy_fractions_reflect_the_contended_resource():
+    """Offload at high tenancy pins the DRAM scan near saturation while
+    the wire idles; fetch mode inverts the picture."""
+    server, plan = _setup()
+    off = simulate_clients(server, plan, "t", 16, mode="offload")
+    fetch = simulate_clients(server, plan, "t", 16, mode="fetch")
+    assert off.memory_busy_fraction > 0.9
+    assert off.memory_busy_fraction > off.network_busy_fraction
+    assert fetch.network_busy_fraction > 0.9
+    assert fetch.network_busy_fraction > fetch.memory_busy_fraction
+
+
+def test_deterministic_replay():
+    server, plan = _setup()
+    a = simulate_clients(server, plan, "t", 8, mode="offload")
+    b = simulate_clients(server, plan, "t", 8, mode="offload")
+    assert a == b
